@@ -1,0 +1,66 @@
+//! Benchmarks of the simulated cluster's collectives — the `O(M N R²)`
+//! all-reduce and the all-to-all row exchanges of Theorem 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dismastd_cluster::{Cluster, Payload};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/allreduce");
+    group.sample_size(20);
+    for &workers in &[2usize, 4, 8] {
+        // 3 R x R gram matrices at R = 10, the per-mode payload.
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    Cluster::run(w, |ctx| {
+                        let mut buf = vec![ctx.rank() as f64; 300];
+                        for _ in 0..10 {
+                            ctx.allreduce_sum(&mut buf);
+                        }
+                        buf[0]
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/exchange");
+    group.sample_size(20);
+    for &rows in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter(|| {
+                Cluster::run(4, |ctx| {
+                    let outgoing: Vec<Payload> = (0..4)
+                        .map(|_| Payload::F64(vec![1.0; rows * 10]))
+                        .collect();
+                    let incoming = ctx.exchange(outgoing);
+                    incoming.len()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spawn_overhead(c: &mut Criterion) {
+    // The fixed cost of standing up the SPMD world — the simulator's
+    // analogue of task startup.
+    let mut group = c.benchmark_group("cluster/spawn");
+    group.sample_size(20);
+    for &workers in &[1usize, 4, 15] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &w| b.iter(|| Cluster::run(w, |ctx| ctx.rank())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_exchange, bench_spawn_overhead);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the dense `R x R` machinery behind every factor
+//! update: Gram products (`O(I R²)`), the Hadamard-product denominators,
+//! factorisation (`O(R³)`), and the row-wise solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dismastd_tensor::linalg::{solve_right, Factorized};
+use dismastd_tensor::ops::{grand_sum_hadamard, hadamard_skip};
+use dismastd_tensor::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/gram");
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for &rows in &[1_000usize, 10_000, 100_000] {
+        let a = Matrix::random(rows, 10, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| a.gram())
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve_right(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/solve_right");
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for &rank in &[10usize, 20, 40] {
+        // SPD system: gram of a random tall matrix plus a ridge.
+        let basis = Matrix::random(rank * 4, rank, &mut rng);
+        let mut m = basis.gram();
+        for i in 0..rank {
+            m.set(i, i, m.get(i, i) + 1.0);
+        }
+        let b = Matrix::random(5_000, rank, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |bch, _| {
+            bch.iter(|| solve_right(&b, &m).expect("SPD"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_factorize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/factorize");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for &rank in &[10usize, 40] {
+        let basis = Matrix::random(rank * 4, rank, &mut rng);
+        let mut m = basis.gram();
+        for i in 0..rank {
+            m.set(i, i, m.get(i, i) + 1.0);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter(|| Factorized::new(&m).expect("SPD"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hadamard_chain(c: &mut Criterion) {
+    // The (A_k)^{⊛ k≠n} denominators and the grand-sum loss kernel.
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let grams: Vec<Matrix> = (0..5).map(|_| Matrix::random(10, 10, &mut rng)).collect();
+    c.bench_function("linalg/hadamard_skip", |b| {
+        b.iter(|| hadamard_skip(&grams, 2).expect("valid"))
+    });
+    let refs: Vec<&Matrix> = grams.iter().collect();
+    c.bench_function("linalg/grand_sum_hadamard", |b| {
+        b.iter(|| grand_sum_hadamard(&refs).expect("valid"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gram,
+    bench_solve_right,
+    bench_factorize,
+    bench_hadamard_chain
+);
+criterion_main!(benches);

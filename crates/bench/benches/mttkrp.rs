@@ -1,0 +1,67 @@
+//! Micro-benchmark of the MTTKRP kernel — the operator the paper identifies
+//! as "the bottleneck cost of tensor decomposition" (Sec. I).
+//!
+//! Sweeps nonzero count and rank to confirm the `O(nnz · N · R)` cost of
+//! Theorem 2's dominant term.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dismastd_data::uniform_tensor;
+use dismastd_tensor::mttkrp::mttkrp;
+use dismastd_tensor::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_mttkrp_nnz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp/nnz");
+    let shape = [400usize, 300, 200];
+    for &nnz in &[10_000usize, 40_000, 160_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = uniform_tensor(&shape, nnz, &mut rng).expect("feasible");
+        let factors: Vec<Matrix> = shape
+            .iter()
+            .map(|&s| Matrix::random(s, 10, &mut rng))
+            .collect();
+        group.throughput(Throughput::Elements(nnz as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nnz), &nnz, |b, _| {
+            b.iter(|| mttkrp(&t, &factors, 0).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mttkrp_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp/rank");
+    let shape = [300usize, 300, 100];
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let t = uniform_tensor(&shape, 50_000, &mut rng).expect("feasible");
+    for &rank in &[5usize, 10, 20, 40] {
+        let factors: Vec<Matrix> = shape
+            .iter()
+            .map(|&s| Matrix::random(s, rank, &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter(|| mttkrp(&t, &factors, 1).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mttkrp_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp/order");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    for order in [3usize, 4, 5] {
+        let shape: Vec<usize> = (0..order).map(|_| 60).collect();
+        let t = uniform_tensor(&shape, 30_000, &mut rng).expect("feasible");
+        let factors: Vec<Matrix> = shape
+            .iter()
+            .map(|&s| Matrix::random(s, 10, &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+            b.iter(|| mttkrp(&t, &factors, 0).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mttkrp_nnz, bench_mttkrp_rank, bench_mttkrp_order);
+criterion_main!(benches);

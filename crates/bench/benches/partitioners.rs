@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the partitioning heuristics: GTP's `O(I)` scan vs
+//! MTP's `O(I log I)` sort-and-fit (the complexity split in Theorem 2),
+//! plus the full grid assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dismastd_data::{zipf_tensor, ZipfSampler};
+use dismastd_partition::{gtp, mtp, GridPartition, Partitioner};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn zipf_hist(n: usize, total: usize, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let z = ZipfSampler::new(n, 1.0);
+    let mut hist = vec![0u64; n];
+    for _ in 0..total {
+        hist[z.sample(&mut rng)] += 1;
+    }
+    hist
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition/heuristics");
+    for &slices in &[1_000usize, 10_000, 100_000] {
+        let hist = zipf_hist(slices, slices * 10, 7);
+        group.bench_with_input(BenchmarkId::new("GTP", slices), &hist, |b, h| {
+            b.iter(|| gtp(h, 16))
+        });
+        group.bench_with_input(BenchmarkId::new("MTP", slices), &hist, |b, h| {
+            b.iter(|| mtp(h, 16))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition/parts_sweep");
+    let hist = zipf_hist(50_000, 500_000, 8);
+    for &p in &[8usize, 38, 256] {
+        group.bench_with_input(BenchmarkId::new("MTP", p), &p, |b, &p| {
+            b.iter(|| mtp(&hist, p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition/grid_build");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let t = zipf_tensor(&[2000, 1000, 400], 100_000, &[0.9, 0.9, 0.3], &mut rng)
+        .expect("feasible");
+    for &workers in &[4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    GridPartition::build(&t, Partitioner::Mtp, &[w; 3], w).expect("builds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_slice_histogram(c: &mut Criterion) {
+    // The O(nnz) statistics pass of the data-partitioning phase.
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let t = zipf_tensor(&[5000, 2000, 500], 200_000, &[0.9, 0.9, 0.3], &mut rng)
+        .expect("feasible");
+    c.bench_function("partition/slice_nnz", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for mode in 0..3 {
+                acc += t.slice_nnz(mode).expect("valid")[0];
+            }
+            acc
+        })
+    });
+    let _ = rng.gen::<u8>();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristics,
+    bench_partition_count,
+    bench_grid_build,
+    bench_slice_histogram
+);
+criterion_main!(benches);

@@ -1,0 +1,270 @@
+//! Message payloads and communication accounting.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A typed message body.
+///
+/// The decomposition only ever ships factor rows (`f64`), row indices
+/// (`u64`) and opaque blobs, so a small closed enum beats generic
+/// serialisation and keeps byte accounting exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Dense floating-point data (factor rows, Gram matrices, scalars).
+    F64(Vec<f64>),
+    /// Index data (row ids, slice ids).
+    U64(Vec<u64>),
+    /// Raw bytes (serialised control structures).
+    Bytes(bytes::Bytes),
+    /// A message that carries no data (pure synchronisation).
+    Empty,
+}
+
+impl Payload {
+    /// Wire size of the payload in bytes (what a real network would carry,
+    /// excluding framing).
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Payload::F64(v) => (v.len() * std::mem::size_of::<f64>()) as u64,
+            Payload::U64(v) => (v.len() * std::mem::size_of::<u64>()) as u64,
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Empty => 0,
+        }
+    }
+
+    /// Unwraps an `F64` payload.
+    ///
+    /// # Panics
+    /// Panics when the payload has a different type — a protocol bug, not a
+    /// runtime condition.
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a `U64` payload (panics on type mismatch, as above).
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {other:?}"),
+        }
+    }
+}
+
+/// Shared, thread-safe tallies of simulated network traffic.
+///
+/// Only bytes that cross a worker boundary count: a worker "sending" to
+/// itself is a local move, exactly as co-located data is free on a real
+/// cluster.  Per-sender byte counters expose communication imbalance
+/// (a hot worker shipping most of the rows is a partitioning smell).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+    collectives: AtomicU64,
+    /// Bytes sent per worker rank (empty when built via `new`).
+    bytes_by_sender: Vec<AtomicU64>,
+}
+
+impl CommStats {
+    /// Fresh zeroed stats without per-sender breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh zeroed stats with one per-sender counter per worker.
+    pub fn with_world(world: usize) -> Self {
+        CommStats {
+            bytes_by_sender: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Records one remote message of `bytes` payload bytes.
+    pub fn record_message(&self, bytes: u64) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one remote message attributed to a sender rank.
+    pub fn record_message_from(&self, sender: usize, bytes: u64) {
+        self.record_message(bytes);
+        if let Some(counter) = self.bytes_by_sender.get(sender) {
+            counter.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the start of a collective operation (barrier, all-reduce, …).
+    pub fn record_collective(&self) {
+        self.collectives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            bytes: self.bytes.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            collectives: self.collectives.load(Ordering::Relaxed),
+            bytes_by_sender: self
+                .bytes_by_sender
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Resets all counters to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.bytes.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+        self.collectives.store(0, Ordering::Relaxed);
+        for c in &self.bytes_by_sender {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain-data copy of [`CommStats`] counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommStatsSnapshot {
+    /// Total payload bytes that crossed worker boundaries.
+    pub bytes: u64,
+    /// Number of remote messages.
+    pub messages: u64,
+    /// Number of collective operations entered.
+    pub collectives: u64,
+    /// Bytes sent per worker rank (empty unless the stats were created
+    /// with [`CommStats::with_world`]).
+    pub bytes_by_sender: Vec<u64>,
+}
+
+impl CommStatsSnapshot {
+    /// Difference of two snapshots (for per-phase accounting).
+    pub fn delta_since(&self, earlier: &CommStatsSnapshot) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            bytes: self.bytes - earlier.bytes,
+            messages: self.messages - earlier.messages,
+            collectives: self.collectives - earlier.collectives,
+            bytes_by_sender: self
+                .bytes_by_sender
+                .iter()
+                .zip(earlier.bytes_by_sender.iter().chain(std::iter::repeat(&0)))
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Ratio of the busiest sender's bytes to the mean (1.0 = perfectly
+    /// even; 0.0 when nothing was sent or no breakdown was recorded).
+    pub fn sender_imbalance(&self) -> f64 {
+        if self.bytes_by_sender.is_empty() {
+            return 0.0;
+        }
+        let mean = self.bytes_by_sender.iter().sum::<u64>() as f64
+            / self.bytes_by_sender.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        *self.bytes_by_sender.iter().max().expect("non-empty") as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::F64(vec![1.0; 10]).size_bytes(), 80);
+        assert_eq!(Payload::U64(vec![1; 3]).size_bytes(), 24);
+        assert_eq!(Payload::Bytes(bytes::Bytes::from_static(b"abcd")).size_bytes(), 4);
+        assert_eq!(Payload::Empty.size_bytes(), 0);
+    }
+
+    #[test]
+    fn payload_unwrap_helpers() {
+        assert_eq!(Payload::F64(vec![2.0]).into_f64(), vec![2.0]);
+        assert_eq!(Payload::U64(vec![3]).into_u64(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn payload_unwrap_wrong_type_panics() {
+        Payload::Empty.into_f64();
+    }
+
+    #[test]
+    fn stats_accumulate_and_snapshot() {
+        let s = CommStats::new();
+        s.record_message(100);
+        s.record_message(50);
+        s.record_collective();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes, 150);
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.collectives, 1);
+    }
+
+    #[test]
+    fn stats_reset_and_delta() {
+        let s = CommStats::new();
+        s.record_message(10);
+        let first = s.snapshot();
+        s.record_message(30);
+        let second = s.snapshot();
+        let d = second.delta_since(&first);
+        assert_eq!(d.bytes, 30);
+        assert_eq!(d.messages, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), CommStatsSnapshot::default());
+    }
+}
+
+#[cfg(test)]
+mod per_sender_tests {
+    use super::*;
+
+    #[test]
+    fn per_sender_attribution() {
+        let s = CommStats::with_world(3);
+        s.record_message_from(0, 100);
+        s.record_message_from(2, 50);
+        s.record_message_from(2, 25);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes, 175);
+        assert_eq!(snap.bytes_by_sender, vec![100, 0, 75]);
+    }
+
+    #[test]
+    fn sender_imbalance_metric() {
+        let s = CommStats::with_world(2);
+        assert_eq!(s.snapshot().sender_imbalance(), 0.0); // nothing sent
+        s.record_message_from(0, 300);
+        s.record_message_from(1, 100);
+        let snap = s.snapshot();
+        assert!((snap.sender_imbalance() - 1.5).abs() < 1e-12);
+        // Breakdown-free stats report 0.
+        assert_eq!(CommStats::new().snapshot().sender_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn delta_handles_sender_vectors() {
+        let s = CommStats::with_world(2);
+        s.record_message_from(0, 10);
+        let a = s.snapshot();
+        s.record_message_from(1, 20);
+        let d = s.snapshot().delta_since(&a);
+        assert_eq!(d.bytes_by_sender, vec![0, 20]);
+    }
+
+    #[test]
+    fn out_of_range_sender_still_counts_totals() {
+        let s = CommStats::with_world(1);
+        s.record_message_from(5, 40); // rank beyond breakdown: totals only
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes, 40);
+        assert_eq!(snap.bytes_by_sender, vec![0]);
+    }
+}

@@ -1,0 +1,520 @@
+//! The SPMD worker runtime.
+//!
+//! [`Cluster::run`] spawns one OS thread per simulated worker node and runs
+//! the same closure on each (Single Program, Multiple Data — the execution
+//! model of the paper's Spark implementation).  Workers coordinate only
+//! through [`WorkerCtx`]: tagged point-to-point messages over unbounded
+//! channels, plus the collectives DisMASTD needs (barrier, broadcast,
+//! gather, all-reduce of `f64` buffers, all-to-all exchange).
+//!
+//! Collectives are sequenced by an internal counter that advances
+//! identically on every worker (valid because the program is SPMD), so
+//! messages from different phases can never be confused even though the
+//! channels are shared.  All remote traffic is tallied in [`CommStats`].
+
+use crate::comm::{CommStats, CommStatsSnapshot, Payload};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+
+/// Tags below this are reserved for internally sequenced collectives;
+/// user point-to-point tags are offset into the upper half.
+const USER_TAG_BASE: u64 = 1 << 63;
+
+struct Msg {
+    src: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+/// Entry point for running SPMD programs on the simulated cluster.
+///
+/// ```
+/// use dismastd_cluster::Cluster;
+/// // Every worker contributes its rank; the all-reduce sums them.
+/// let results = Cluster::run(4, |ctx| ctx.allreduce_sum_scalar(ctx.rank() as f64));
+/// assert_eq!(results, vec![6.0; 4]);
+/// ```
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `f` on `world` simulated worker nodes and returns each worker's
+    /// result, ordered by rank.
+    ///
+    /// # Panics
+    /// Panics if `world == 0` or if any worker panics.
+    pub fn run<T, F>(world: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut WorkerCtx) -> T + Sync,
+    {
+        Self::run_with_stats(world, f).0
+    }
+
+    /// Like [`Cluster::run`], additionally returning the aggregate
+    /// communication statistics of the whole run.
+    pub fn run_with_stats<T, F>(world: usize, f: F) -> (Vec<T>, CommStatsSnapshot)
+    where
+        T: Send,
+        F: Fn(&mut WorkerCtx) -> T + Sync,
+    {
+        assert!(world > 0, "cluster needs at least one worker");
+        let stats = Arc::new(CommStats::with_world(world));
+        let barrier = Arc::new(Barrier::new(world));
+
+        // One inbound channel per worker; every worker holds all senders.
+        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(world);
+        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+
+        let results: Vec<T> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(world);
+            for (rank, slot) in receivers.iter_mut().enumerate() {
+                let receiver = slot.take().expect("receiver taken once");
+                let senders = senders.clone();
+                let barrier = Arc::clone(&barrier);
+                let stats = Arc::clone(&stats);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = WorkerCtx {
+                        rank,
+                        world,
+                        senders,
+                        receiver,
+                        pending: VecDeque::new(),
+                        seq: 0,
+                        barrier,
+                        stats,
+                    };
+                    f(&mut ctx)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let snapshot = stats.snapshot();
+        (results, snapshot)
+    }
+}
+
+/// A worker's handle to the simulated cluster: identity, messaging, and
+/// collectives.
+pub struct WorkerCtx {
+    rank: usize,
+    world: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    /// Out-of-order messages awaiting a matching `recv`.
+    pending: VecDeque<Msg>,
+    /// Collective sequence number; advances in lock-step on all workers.
+    seq: u64,
+    barrier: Arc<Barrier>,
+    stats: Arc<CommStats>,
+}
+
+impl WorkerCtx {
+    /// This worker's rank in `[0, world)`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of workers `M`.
+    #[inline]
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Live communication statistics (shared across all workers).
+    pub fn stats(&self) -> CommStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Sends `payload` to worker `dst` under a user tag.
+    ///
+    /// Only remote sends (`dst != rank`) count as network traffic.
+    pub fn send(&self, dst: usize, tag: u64, payload: Payload) {
+        self.send_raw(dst, USER_TAG_BASE + tag, payload);
+    }
+
+    /// Receives the payload sent by `src` under a user tag, blocking until
+    /// it arrives.  Messages with other tags are buffered, not lost.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Payload {
+        self.recv_raw(src, USER_TAG_BASE + tag)
+    }
+
+    fn send_raw(&self, dst: usize, tag: u64, payload: Payload) {
+        if dst != self.rank {
+            self.stats
+                .record_message_from(self.rank, payload.size_bytes());
+        }
+        self.senders[dst]
+            .send(Msg {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            .expect("receiver lives as long as the cluster");
+    }
+
+    fn recv_raw(&mut self, src: usize, tag: u64) -> Payload {
+        // Check buffered messages first.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            return self
+                .pending
+                .remove(pos)
+                .expect("position valid")
+                .payload;
+        }
+        loop {
+            let msg = self
+                .receiver
+                .recv()
+                .expect("senders live as long as the cluster");
+            if msg.src == src && msg.tag == tag {
+                return msg.payload;
+            }
+            self.pending.push_back(msg);
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Blocks until every worker reaches the barrier.
+    pub fn barrier(&mut self) {
+        if self.rank == 0 {
+            self.stats.record_collective();
+        }
+        self.barrier.wait();
+    }
+
+    /// All-to-all exchange: `outgoing[d]` is delivered to worker `d`; the
+    /// return value holds, at position `s`, the payload worker `s` sent
+    /// here.  Self-delivery is a local move (no traffic counted).
+    ///
+    /// This is the primitive behind the factor-row shuffles of Sec. IV-B1/B2.
+    ///
+    /// # Panics
+    /// Panics unless `outgoing.len() == world`.
+    pub fn exchange(&mut self, mut outgoing: Vec<Payload>) -> Vec<Payload> {
+        assert_eq!(outgoing.len(), self.world, "one payload per destination");
+        let tag = self.next_seq();
+        if self.rank == 0 {
+            self.stats.record_collective();
+        }
+        // Keep the self-payload aside, send the rest.
+        let mine = std::mem::replace(&mut outgoing[self.rank], Payload::Empty);
+        for (dst, payload) in outgoing.into_iter().enumerate() {
+            if dst == self.rank {
+                continue;
+            }
+            self.send_raw(dst, tag, payload);
+        }
+        let mut incoming = Vec::with_capacity(self.world);
+        for src in 0..self.world {
+            if src == self.rank {
+                incoming.push(Payload::Empty); // placeholder, replaced below
+            } else {
+                incoming.push(self.recv_raw(src, tag));
+            }
+        }
+        incoming[self.rank] = mine;
+        incoming
+    }
+
+    /// Broadcast from `root`: the root passes `Some(payload)`, everyone else
+    /// passes `None`; all workers (including the root) return the payload.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn broadcast(&mut self, root: usize, payload: Option<Payload>) -> Payload {
+        let tag = self.next_seq();
+        if self.rank == 0 {
+            self.stats.record_collective();
+        }
+        if self.rank == root {
+            let payload = payload.expect("root must supply the broadcast payload");
+            for dst in 0..self.world {
+                if dst != root {
+                    self.send_raw(dst, tag, payload.clone());
+                }
+            }
+            payload
+        } else {
+            assert!(payload.is_none(), "only the root supplies a payload");
+            self.recv_raw(root, tag)
+        }
+    }
+
+    /// Gather to `root`: returns `Some(payloads_by_rank)` on the root,
+    /// `None` elsewhere.
+    pub fn gather(&mut self, root: usize, payload: Payload) -> Option<Vec<Payload>> {
+        let tag = self.next_seq();
+        if self.rank == 0 {
+            self.stats.record_collective();
+        }
+        if self.rank == root {
+            let mut all: Vec<Payload> = Vec::with_capacity(self.world);
+            for src in 0..self.world {
+                if src == root {
+                    all.push(payload.clone());
+                } else {
+                    all.push(self.recv_raw(src, tag));
+                }
+            }
+            all[root] = payload;
+            Some(all)
+        } else {
+            self.send_raw(root, tag, payload);
+            None
+        }
+    }
+
+    /// All-reduce (sum) of an `f64` buffer: after the call every worker's
+    /// `buf` holds the element-wise sum over all workers.
+    ///
+    /// Implemented gather-to-0 + broadcast, the "All-to-All reduction …
+    /// aggregate … and distribute among all partitions" of Sec. IV-B3.
+    pub fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        if self.world == 1 {
+            return;
+        }
+        let root = 0usize;
+        let gathered = self.gather(root, Payload::F64(buf.to_vec()));
+        if self.rank == root {
+            let all = gathered.expect("root gathers");
+            buf.iter_mut().for_each(|x| *x = 0.0);
+            for p in all {
+                let v = p.into_f64();
+                assert_eq!(v.len(), buf.len(), "allreduce buffers must agree");
+                for (b, x) in buf.iter_mut().zip(v) {
+                    *b += x;
+                }
+            }
+            self.broadcast(root, Some(Payload::F64(buf.to_vec())));
+        } else {
+            let reduced = self.broadcast(root, None).into_f64();
+            buf.copy_from_slice(&reduced);
+        }
+    }
+
+    /// All-reduce of a single scalar.
+    pub fn allreduce_sum_scalar(&mut self, x: f64) -> f64 {
+        let mut buf = [x];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// All-reduce (max) of a single scalar — used for convergence voting.
+    pub fn allreduce_max_scalar(&mut self, x: f64) -> f64 {
+        if self.world == 1 {
+            return x;
+        }
+        let gathered = self.gather(0, Payload::F64(vec![x]));
+        if self.rank == 0 {
+            let m = gathered
+                .expect("root gathers")
+                .into_iter()
+                .map(|p| p.into_f64()[0])
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.broadcast(0, Some(Payload::F64(vec![m])));
+            m
+        } else {
+            self.broadcast(0, None).into_f64()[0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        Cluster::run(0, |_| ());
+    }
+
+    #[test]
+    fn single_worker_runs() {
+        let out = Cluster::run(1, |ctx| {
+            ctx.barrier();
+            let s = ctx.allreduce_sum_scalar(5.0);
+            (ctx.rank(), s)
+        });
+        assert_eq!(out, vec![(0, 5.0)]);
+    }
+
+    #[test]
+    fn ranks_are_distinct_and_ordered() {
+        let out = Cluster::run(4, |ctx| ctx.rank());
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn point_to_point_round_trip() {
+        let out = Cluster::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, Payload::F64(vec![1.0, 2.0]));
+                ctx.recv(1, 8).into_f64()
+            } else {
+                let got = ctx.recv(0, 7).into_f64();
+                let doubled: Vec<f64> = got.iter().map(|x| x * 2.0).collect();
+                ctx.send(0, 8, Payload::F64(doubled.clone()));
+                doubled
+            }
+        });
+        assert_eq!(out[0], vec![2.0, 4.0]);
+        assert_eq!(out[1], vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn tag_matching_buffers_out_of_order() {
+        // Worker 0 sends two tags; worker 1 receives them in reverse order.
+        let out = Cluster::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Payload::U64(vec![11]));
+                ctx.send(1, 2, Payload::U64(vec![22]));
+                vec![]
+            } else {
+                let second = ctx.recv(0, 2).into_u64();
+                let first = ctx.recv(0, 1).into_u64();
+                vec![first[0], second[0]]
+            }
+        });
+        assert_eq!(out[1], vec![11, 22]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_workers() {
+        let out = Cluster::run(4, |ctx| {
+            let mut buf = vec![ctx.rank() as f64, 1.0];
+            ctx.allreduce_sum(&mut buf);
+            buf
+        });
+        for r in out {
+            assert_eq!(r, vec![6.0, 4.0]); // 0+1+2+3, 1*4
+        }
+    }
+
+    #[test]
+    fn allreduce_scalar_and_max() {
+        let sums = Cluster::run(3, |ctx| ctx.allreduce_sum_scalar(ctx.rank() as f64 + 1.0));
+        assert!(sums.iter().all(|&s| s == 6.0));
+        let maxes = Cluster::run(3, |ctx| ctx.allreduce_max_scalar(-(ctx.rank() as f64)));
+        assert!(maxes.iter().all(|&m| m == 0.0));
+    }
+
+    #[test]
+    fn broadcast_delivers_to_everyone() {
+        let out = Cluster::run(3, |ctx| {
+            let payload = if ctx.rank() == 1 {
+                Some(Payload::F64(vec![3.5]))
+            } else {
+                None
+            };
+            ctx.broadcast(1, payload).into_f64()
+        });
+        assert!(out.iter().all(|v| v == &vec![3.5]));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = Cluster::run(3, |ctx| {
+            ctx.gather(2, Payload::U64(vec![ctx.rank() as u64 * 10]))
+        });
+        assert!(out[0].is_none());
+        assert!(out[1].is_none());
+        let gathered = out[2].as_ref().unwrap();
+        let vals: Vec<u64> = gathered.iter().map(|p| match p {
+            Payload::U64(v) => v[0],
+            _ => panic!("wrong payload"),
+        }).collect();
+        assert_eq!(vals, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn exchange_routes_by_destination() {
+        let out = Cluster::run(3, |ctx| {
+            // Worker r sends value 100*r + d to destination d.
+            let outgoing: Vec<Payload> = (0..3)
+                .map(|d| Payload::U64(vec![(100 * ctx.rank() + d) as u64]))
+                .collect();
+            let incoming = ctx.exchange(outgoing);
+            incoming
+                .into_iter()
+                .map(|p| p.into_u64()[0])
+                .collect::<Vec<u64>>()
+        });
+        // Worker d receives 100*s + d from each source s.
+        assert_eq!(out[0], vec![0, 100, 200]);
+        assert_eq!(out[1], vec![1, 101, 201]);
+        assert_eq!(out[2], vec![2, 102, 202]);
+    }
+
+    #[test]
+    fn self_messages_cost_nothing() {
+        let (_, stats) = Cluster::run_with_stats(1, |ctx| {
+            let incoming = ctx.exchange(vec![Payload::F64(vec![1.0; 100])]);
+            assert_eq!(incoming[0].size_bytes(), 800);
+        });
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn remote_traffic_is_counted() {
+        let (_, stats) = Cluster::run_with_stats(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, Payload::F64(vec![0.0; 10])); // 80 bytes
+            } else {
+                ctx.recv(0, 0);
+            }
+        });
+        assert_eq!(stats.bytes, 80);
+        assert_eq!(stats.messages, 1);
+    }
+
+    #[test]
+    fn collectives_sequence_without_crosstalk() {
+        // Two back-to-back allreduces must not mix, even with skewed timing.
+        let out = Cluster::run(4, |ctx| {
+            if ctx.rank() == 3 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            let a = ctx.allreduce_sum_scalar(1.0);
+            let b = ctx.allreduce_sum_scalar(10.0);
+            (a, b)
+        });
+        for (a, b) in out {
+            assert_eq!(a, 4.0);
+            assert_eq!(b, 40.0);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Cluster::run(4, |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier everyone must observe all increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+}

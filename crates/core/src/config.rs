@@ -1,0 +1,128 @@
+//! Decomposition configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by every decomposition in this crate.
+///
+/// Defaults follow the paper's experimental setup (Sec. V-A): rank `R = 10`,
+/// forgetting factor `μ = 0.8`, at most 10 ALS iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecompConfig {
+    /// CP rank `R` (column count of every factor matrix).
+    pub rank: usize,
+    /// Forgetting factor `μ ∈ (0, 1]` weighting the previous snapshot's
+    /// decomposition error (Eq. 2).  `μ = 1` trusts the old decomposition
+    /// fully; smaller values decay it.
+    pub forgetting: f64,
+    /// Maximum number of ALS iterations per snapshot.
+    pub max_iters: usize,
+    /// Relative loss-improvement threshold below which iteration stops
+    /// ("fit ceases to improve", Alg. 1 line 7).  `0.0` always runs
+    /// `max_iters` iterations (the paper's timing protocol).
+    pub tolerance: f64,
+    /// Seed for the random initialisation of new factor rows.
+    pub seed: u64,
+}
+
+impl Default for DecompConfig {
+    fn default() -> Self {
+        DecompConfig {
+            rank: 10,
+            forgetting: 0.8,
+            max_iters: 10,
+            tolerance: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+impl DecompConfig {
+    /// Returns the config with a different rank.
+    pub fn with_rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Returns the config with a different forgetting factor.
+    pub fn with_forgetting(mut self, mu: f64) -> Self {
+        self.forgetting = mu;
+        self
+    }
+
+    /// Returns the config with a different iteration cap.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Returns the config with a different convergence tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Returns the config with a different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rank == 0 {
+            return Err("rank must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.forgetting) || self.forgetting == 0.0 {
+            return Err("forgetting factor must lie in (0, 1]".into());
+        }
+        if self.max_iters == 0 {
+            return Err("max_iters must be >= 1".into());
+        }
+        if self.tolerance < 0.0 {
+            return Err("tolerance must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DecompConfig::default();
+        assert_eq!(c.rank, 10);
+        assert_eq!(c.forgetting, 0.8);
+        assert_eq!(c.max_iters, 10);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = DecompConfig::default()
+            .with_rank(4)
+            .with_forgetting(0.5)
+            .with_max_iters(3)
+            .with_tolerance(1e-6)
+            .with_seed(7);
+        assert_eq!(c.rank, 4);
+        assert_eq!(c.forgetting, 0.5);
+        assert_eq!(c.max_iters, 3);
+        assert_eq!(c.tolerance, 1e-6);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(DecompConfig::default().with_rank(0).validate().is_err());
+        assert!(DecompConfig::default().with_forgetting(0.0).validate().is_err());
+        assert!(DecompConfig::default().with_forgetting(1.5).validate().is_err());
+        assert!(DecompConfig::default().with_max_iters(0).validate().is_err());
+        assert!(DecompConfig::default().with_tolerance(-1.0).validate().is_err());
+        assert!(DecompConfig::default().with_forgetting(1.0).validate().is_ok());
+    }
+}

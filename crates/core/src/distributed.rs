@@ -1,0 +1,844 @@
+//! Distributed DisMASTD (Sec. IV-B) on the simulated cluster.
+//!
+//! One engine drives both of the paper's distributed methods:
+//!
+//! * **DisMASTD** ([`dismastd`]) — DTD over the complement `X \ X̃` with the
+//!   previous snapshot's factors;
+//! * **DMS-MG** ([`dms_mg`]) — the static medium-grained baseline, obtained
+//!   as the zero-history special case (re-decompose the *full* tensor from
+//!   scratch; every row is a "new" row).
+//!
+//! Execution per iteration and mode follows the paper exactly:
+//!
+//! 1. **Distributed MTTKRP** (Sec. IV-B1): each worker computes partial
+//!    MTTKRP rows from its grid cells, then routes the partials of rows it
+//!    does not own to the row owners (one all-to-all exchange).
+//! 2. **Distributed factor update** (Sec. IV-B2): row owners apply the
+//!    Eq. 5 row-wise rules using the cached `R x R` products, then ship the
+//!    refreshed rows back to every worker whose nonzeros reference them
+//!    (second exchange).
+//! 3. **Distributed matrix-product update** (Sec. IV-B3): owners compute
+//!    partial Grams over their rows and an all-reduce rebuilds
+//!    `G_n^0, G_n^1, G̃_n` on every worker.
+//! 4. **Distributed loss** (Sec. IV-B4): the `R x R` terms are evaluated
+//!    locally from the replicated products; the data-dependent inner product
+//!    reuses the final mode's MTTKRP partial rows and needs only a scalar
+//!    all-reduce.
+
+use crate::config::DecompConfig;
+use crate::dtd::{converged, init_factors};
+use crate::loss::{dtd_loss, GramState, LossParts};
+use dismastd_cluster::{Cluster, CommStatsSnapshot, Payload, WorkerCtx};
+use dismastd_partition::{CellAssignment, GridPartition, Partitioner};
+use dismastd_tensor::linalg::Factorized;
+use dismastd_tensor::matrix::{dot, Matrix};
+use dismastd_tensor::mttkrp::mttkrp_into;
+use dismastd_tensor::ops::{grand_sum_hadamard, hadamard_skip};
+use dismastd_tensor::{
+    KruskalTensor, Result, SparseTensor, SparseTensorBuilder, TensorError,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster-side configuration: worker count and partitioning strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of simulated worker nodes `M`.
+    pub workers: usize,
+    /// Tensor partitioning heuristic (GTP or MTP).
+    pub partitioner: Partitioner,
+    /// Partitions per mode `p_n`.  `None` uses the paper's empirical guide
+    /// of one partition per node in every mode (Sec. V-B2).
+    pub parts_per_mode: Option<Vec<usize>>,
+    /// Cell→worker placement strategy (medium-grain block grid by default;
+    /// `Scatter` trades locality for balance — an ablation knob).
+    pub cell_assignment: CellAssignment,
+}
+
+impl ClusterConfig {
+    /// `workers` nodes with MTP partitioning and default partition counts.
+    pub fn new(workers: usize) -> Self {
+        ClusterConfig {
+            workers,
+            partitioner: Partitioner::Mtp,
+            parts_per_mode: None,
+            cell_assignment: CellAssignment::BlockGrid,
+        }
+    }
+
+    /// Selects the cell→worker placement strategy.
+    pub fn with_cell_assignment(mut self, a: CellAssignment) -> Self {
+        self.cell_assignment = a;
+        self
+    }
+
+    /// Selects the partitioner.
+    pub fn with_partitioner(mut self, p: Partitioner) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Overrides the per-mode partition counts.
+    pub fn with_parts_per_mode(mut self, parts: Vec<usize>) -> Self {
+        self.parts_per_mode = Some(parts);
+        self
+    }
+
+    fn resolved_parts(&self, order: usize) -> Vec<usize> {
+        self.parts_per_mode
+            .clone()
+            .unwrap_or_else(|| vec![self.workers; order])
+    }
+}
+
+/// Result of a distributed decomposition.
+#[derive(Debug, Clone)]
+pub struct DistOutput {
+    /// The CP decomposition of the current snapshot.
+    pub kruskal: KruskalTensor,
+    /// ALS iterations executed.
+    pub iterations: usize,
+    /// Eq. 4 loss after each iteration.
+    pub loss_trace: Vec<f64>,
+    /// Network traffic of the iteration phase (bytes/messages/collectives).
+    pub comm: CommStatsSnapshot,
+    /// Bytes required to stage the data: tensor partitions plus the factor
+    /// rows each worker caches (the `O(nnz + NIR + NdR)` of Theorem 4).
+    pub setup_bytes: u64,
+    /// Wall-clock of the whole call (partitioning + iterations + gather).
+    pub elapsed: Duration,
+    /// Wall-clock of the ALS iteration loop alone.
+    pub iter_elapsed: Duration,
+}
+
+impl DistOutput {
+    /// Average time per ALS iteration — the paper's reported metric.
+    pub fn time_per_iter(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.iter_elapsed / self.iterations as u32
+        }
+    }
+}
+
+/// Per-worker placement plan, precomputed once per snapshot.
+struct WorkerPlan {
+    /// This worker's nonzeros (global coordinates).
+    local: SparseTensor,
+    /// Rows of each mode whose factor entries this worker owns and updates.
+    owned_rows: Vec<Vec<u32>>,
+    /// `partial_routes[n][d]`: mode-`n` rows this worker's nonzeros
+    /// reference that worker `d` owns (partials flow here → `d`, updates
+    /// flow back `d` → here).
+    partial_routes: Vec<Vec<Vec<u32>>>,
+    /// `serve_routes[n][d]`: mode-`n` rows worker `d` references that this
+    /// worker owns (mirror of `d`'s `partial_routes[n][me]`).
+    serve_routes: Vec<Vec<Vec<u32>>>,
+}
+
+/// Runs distributed DisMASTD: DTD over the complement tensor given the
+/// previous snapshot's factors.
+///
+/// # Errors
+/// Propagates configuration, partitioning, and numerical errors.
+pub fn dismastd(
+    complement: &SparseTensor,
+    old_factors: &[Matrix],
+    cfg: &DecompConfig,
+    cluster: &ClusterConfig,
+) -> Result<DistOutput> {
+    run_distributed(complement, old_factors, cfg, cluster)
+}
+
+/// Runs the DMS-MG baseline: distributed static CP-ALS over the full
+/// tensor, re-computing from scratch (no history reuse).
+///
+/// # Errors
+/// Propagates configuration, partitioning, and numerical errors.
+pub fn dms_mg(
+    full: &SparseTensor,
+    cfg: &DecompConfig,
+    cluster: &ClusterConfig,
+) -> Result<DistOutput> {
+    let zero_old: Vec<Matrix> = (0..full.order())
+        .map(|_| Matrix::zeros(0, cfg.rank))
+        .collect();
+    run_distributed(full, &zero_old, cfg, cluster)
+}
+
+fn run_distributed(
+    tensor: &SparseTensor,
+    old_factors: &[Matrix],
+    cfg: &DecompConfig,
+    cluster: &ClusterConfig,
+) -> Result<DistOutput> {
+    cfg.validate().map_err(TensorError::InvalidArgument)?;
+    if cluster.workers == 0 {
+        return Err(TensorError::InvalidArgument(
+            "cluster needs at least one worker".into(),
+        ));
+    }
+    let start = Instant::now();
+    let order = tensor.order();
+    let world = cluster.workers;
+    let rank = cfg.rank;
+    let old_rows: Vec<usize> = old_factors.iter().map(Matrix::rows).collect();
+
+    // ---- Data partitioning (Sec. IV-A) ----------------------------------
+    let parts = cluster.resolved_parts(order);
+    let grid = GridPartition::build_with(
+        tensor,
+        cluster.partitioner,
+        &parts,
+        world,
+        cluster.cell_assignment,
+    )?;
+    let plans = Arc::new(build_plans(tensor, &grid, world)?);
+
+    // Shared read-only inputs.
+    let init = Arc::new(init_factors(old_factors, tensor.shape(), rank, cfg.seed)?);
+    let old = Arc::new(old_factors.to_vec());
+    let old_norm_sq = if old_rows.iter().all(|&r| r > 0) {
+        let grams: Vec<Matrix> = old_factors.iter().map(Matrix::gram).collect();
+        let refs: Vec<&Matrix> = grams.iter().collect();
+        grand_sum_hadamard(&refs)?
+    } else {
+        0.0
+    };
+    let tensor_norm_sq = tensor.norm_sq();
+
+    let setup_bytes = setup_bytes(&plans, order, rank);
+
+    // ---- Distributed tensor decomposition (Sec. IV-B) -------------------
+    let cfg = *cfg;
+    let old_rows_arc = Arc::new(old_rows.clone());
+    let (mut results, comm) = Cluster::run_with_stats(world, |ctx| {
+        worker_body(
+            ctx,
+            &plans,
+            &init,
+            &old,
+            &old_rows_arc,
+            &cfg,
+            old_norm_sq,
+            tensor_norm_sq,
+        )
+    });
+
+    let WorkerResult {
+        loss_trace,
+        iterations,
+        factors,
+        iter_elapsed,
+    } = results.swap_remove(0);
+    let factors = factors.expect("rank 0 assembles the final factors")?;
+
+    Ok(DistOutput {
+        kruskal: KruskalTensor::new(factors)?,
+        iterations,
+        loss_trace,
+        comm,
+        setup_bytes,
+        elapsed: start.elapsed(),
+        iter_elapsed,
+    })
+}
+
+struct WorkerResult {
+    loss_trace: Vec<f64>,
+    iterations: usize,
+    /// `Some` on rank 0 only: the gathered final factors.
+    factors: Option<Result<Vec<Matrix>>>,
+    iter_elapsed: Duration,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_body(
+    ctx: &mut WorkerCtx,
+    plans: &Arc<Vec<WorkerPlan>>,
+    init: &Arc<Vec<Matrix>>,
+    old: &Arc<Vec<Matrix>>,
+    old_rows: &Arc<Vec<usize>>,
+    cfg: &DecompConfig,
+    old_norm_sq: f64,
+    tensor_norm_sq: f64,
+) -> WorkerResult {
+    let me = ctx.rank();
+    let world = ctx.world();
+    let plan = &plans[me];
+    let order = init.len();
+    let r = cfg.rank;
+    let mu = cfg.forgetting;
+
+    // Replicated factor copies; only owned ∪ referenced rows stay fresh.
+    let mut factors: Vec<Matrix> = init.as_ref().clone();
+
+    // Replicated RxR state, rebuilt by all-reduce from owned-row partials so
+    // every worker agrees bit-for-bit.
+    let mut state = GramState {
+        gram0: vec![Matrix::zeros(r, r); order],
+        gram1: vec![Matrix::zeros(r, r); order],
+        cross: vec![Matrix::zeros(r, r); order],
+    };
+    for n in 0..order {
+        let (g0, g1, cr) = local_gram_partials(&factors[n], &old[n], &plan.owned_rows[n], old_rows[n], r);
+        let reduced = allreduce_grams(ctx, &g0, &g1, &cr);
+        state.gram0[n] = reduced.0;
+        state.gram1[n] = reduced.1;
+        state.cross[n] = reduced.2;
+    }
+
+    let mut loss_trace: Vec<f64> = Vec::with_capacity(cfg.max_iters);
+    let mut iterations = 0;
+    let iter_start = Instant::now();
+    let mut hat = vec![Matrix::zeros(0, 0); order];
+    for n in 0..order {
+        hat[n] = Matrix::zeros(factors[n].rows(), r);
+    }
+
+    for _iter in 0..cfg.max_iters {
+        let mut inner_partial = 0.0;
+        for n in 0..order {
+            // -- 1. local MTTKRP partials over this worker's nonzeros -----
+            hat[n].fill_zero();
+            mttkrp_into(&plan.local, &factors, n, &mut hat[n])
+                .expect("plans validated against factor shapes");
+
+            // -- route partials to row owners ------------------------------
+            let outgoing: Vec<Payload> = (0..world)
+                .map(|d| {
+                    if d == me {
+                        Payload::Empty
+                    } else {
+                        Payload::F64(pack_rows(&hat[n], &plan.partial_routes[n][d]))
+                    }
+                })
+                .collect();
+            let incoming = ctx.exchange(outgoing);
+            for (d, payload) in incoming.into_iter().enumerate() {
+                if d == me {
+                    continue;
+                }
+                let data = payload.into_f64();
+                add_rows(&mut hat[n], &plan.serve_routes[n][d], &data);
+            }
+
+            // -- 2. owners update their rows (Eq. 5, row-wise) -------------
+            let totals: Vec<Matrix> = (0..order)
+                .map(|k| state.total(k).expect("gram shapes agree"))
+                .collect();
+            let d1 = hadamard_skip(&totals, n).expect("order >= 2");
+            let d0 = {
+                let g0_had = hadamard_skip(&state.gram0, n).expect("order >= 2");
+                d1.sub(&g0_had.scale(1.0 - mu)).expect("same shape")
+            };
+            let f1 = Factorized::new(&d1).expect("denominator invertible");
+            let f0 = Factorized::new(&d0).expect("denominator invertible");
+            let cross_had = hadamard_skip(&state.cross, n).expect("order >= 2");
+            let old_n = old_rows[n];
+            let mut row_buf = vec![0.0f64; r];
+            for &row in &plan.owned_rows[n] {
+                let row = row as usize;
+                if row < old_n {
+                    // μ Ã_n[i,:] (⊛ G̃) + Â[i,:], then ·D0⁻¹.
+                    let old_row = old[n].row(row);
+                    for (c, slot) in row_buf.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for (f, &ov) in old_row.iter().enumerate() {
+                            acc += ov * cross_had.get(f, c);
+                        }
+                        *slot = mu * acc + hat[n].get(row, c);
+                    }
+                    f0.solve_in_place(&mut row_buf);
+                } else {
+                    row_buf.copy_from_slice(hat[n].row(row));
+                    f1.solve_in_place(&mut row_buf);
+                }
+                factors[n].row_mut(row).copy_from_slice(&row_buf);
+            }
+
+            // -- ship refreshed rows back to referencing workers ------------
+            let outgoing: Vec<Payload> = (0..world)
+                .map(|d| {
+                    if d == me {
+                        Payload::Empty
+                    } else {
+                        Payload::F64(pack_rows(&factors[n], &plan.serve_routes[n][d]))
+                    }
+                })
+                .collect();
+            let incoming = ctx.exchange(outgoing);
+            for (d, payload) in incoming.into_iter().enumerate() {
+                if d == me {
+                    continue;
+                }
+                let data = payload.into_f64();
+                write_rows(&mut factors[n], &plan.partial_routes[n][d], &data);
+            }
+
+            // -- 3. rebuild the RxR products by all-reduce ------------------
+            let (g0, g1, cr) =
+                local_gram_partials(&factors[n], &old[n], &plan.owned_rows[n], old_n, r);
+            let reduced = allreduce_grams(ctx, &g0, &g1, &cr);
+            state.gram0[n] = reduced.0;
+            state.gram1[n] = reduced.1;
+            state.cross[n] = reduced.2;
+
+            // -- 4. loss reuse: data inner product from the final mode -----
+            if n == order - 1 {
+                inner_partial = plan.owned_rows[n]
+                    .iter()
+                    .map(|&row| {
+                        let row = row as usize;
+                        dot(hat[n].row(row), factors[n].row(row))
+                    })
+                    .sum();
+            }
+        }
+        iterations += 1;
+        let inner = ctx.allreduce_sum_scalar(inner_partial);
+        let loss = dtd_loss(
+            &state,
+            &LossParts {
+                mu,
+                old_norm_sq,
+                complement_norm_sq: tensor_norm_sq,
+                inner,
+            },
+        )
+        .expect("replicated gram state is consistent");
+        loss_trace.push(loss);
+        if converged(&loss_trace, cfg.tolerance) {
+            break;
+        }
+    }
+    let iter_elapsed = iter_start.elapsed();
+
+    // ---- gather the owned rows of every factor to rank 0 ----------------
+    let factors_out = gather_factors(ctx, plans, &factors, init);
+
+    WorkerResult {
+        loss_trace,
+        iterations,
+        factors: factors_out,
+        iter_elapsed,
+    }
+}
+
+/// Packs the listed rows of `m` into one contiguous buffer.
+fn pack_rows(m: &Matrix, rows: &[u32]) -> Vec<f64> {
+    let r = m.cols();
+    let mut out = Vec::with_capacity(rows.len() * r);
+    for &row in rows {
+        out.extend_from_slice(m.row(row as usize));
+    }
+    out
+}
+
+/// Adds packed rows into `m` at the listed positions.
+fn add_rows(m: &mut Matrix, rows: &[u32], data: &[f64]) {
+    let r = m.cols();
+    debug_assert_eq!(data.len(), rows.len() * r);
+    for (i, &row) in rows.iter().enumerate() {
+        let dst = m.row_mut(row as usize);
+        for (d, &s) in dst.iter_mut().zip(&data[i * r..(i + 1) * r]) {
+            *d += s;
+        }
+    }
+}
+
+/// Overwrites rows of `m` at the listed positions with packed data.
+fn write_rows(m: &mut Matrix, rows: &[u32], data: &[f64]) {
+    let r = m.cols();
+    debug_assert_eq!(data.len(), rows.len() * r);
+    for (i, &row) in rows.iter().enumerate() {
+        m.row_mut(row as usize)
+            .copy_from_slice(&data[i * r..(i + 1) * r]);
+    }
+}
+
+/// Partial Grams over this worker's owned rows: `(G⁰, G¹, G̃)` contributions
+/// (the row-wise partial products of Sec. IV-B3).
+fn local_gram_partials(
+    factor: &Matrix,
+    old: &Matrix,
+    owned: &[u32],
+    old_n: usize,
+    r: usize,
+) -> (Matrix, Matrix, Matrix) {
+    let mut g0 = Matrix::zeros(r, r);
+    let mut g1 = Matrix::zeros(r, r);
+    let mut cr = Matrix::zeros(r, r);
+    for &row in owned {
+        let row = row as usize;
+        let a = factor.row(row);
+        let target = if row < old_n { &mut g0 } else { &mut g1 };
+        for (p, &av) in a.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = target.row_mut(p);
+            for (o, &bv) in out_row.iter_mut().zip(a) {
+                *o += av * bv;
+            }
+        }
+        if row < old_n {
+            let o = old.row(row);
+            for (p, &ov) in o.iter().enumerate() {
+                if ov == 0.0 {
+                    continue;
+                }
+                let out_row = cr.row_mut(p);
+                for (c, &av) in out_row.iter_mut().zip(a) {
+                    *c += ov * av;
+                }
+            }
+        }
+    }
+    (g0, g1, cr)
+}
+
+/// All-reduces the three RxR partials in one fused buffer (one collective,
+/// `3R²` values — the `O(MNR²)` term of Theorem 4).
+fn allreduce_grams(
+    ctx: &mut WorkerCtx,
+    g0: &Matrix,
+    g1: &Matrix,
+    cr: &Matrix,
+) -> (Matrix, Matrix, Matrix) {
+    let r = g0.rows();
+    let mut buf = Vec::with_capacity(3 * r * r);
+    buf.extend_from_slice(g0.as_slice());
+    buf.extend_from_slice(g1.as_slice());
+    buf.extend_from_slice(cr.as_slice());
+    ctx.allreduce_sum(&mut buf);
+    let g0 = Matrix::from_vec(r, r, buf[0..r * r].to_vec()).expect("size fixed");
+    let g1 = Matrix::from_vec(r, r, buf[r * r..2 * r * r].to_vec()).expect("size fixed");
+    let cr = Matrix::from_vec(r, r, buf[2 * r * r..].to_vec()).expect("size fixed");
+    (g0, g1, cr)
+}
+
+/// Gathers every worker's owned rows to rank 0 and assembles the final
+/// factor matrices there.
+fn gather_factors(
+    ctx: &mut WorkerCtx,
+    plans: &Arc<Vec<WorkerPlan>>,
+    factors: &[Matrix],
+    init: &Arc<Vec<Matrix>>,
+) -> Option<Result<Vec<Matrix>>> {
+    let me = ctx.rank();
+    let order = factors.len();
+    // One payload: all owned rows of all modes, concatenated.
+    let mut packed = Vec::new();
+    for (n, f) in factors.iter().enumerate() {
+        packed.extend(pack_rows(f, &plans[me].owned_rows[n]));
+    }
+    let gathered = ctx.gather(0, Payload::F64(packed));
+    let gathered = gathered?; // None on non-root ranks
+    let mut out: Vec<Matrix> = (0..order)
+        .map(|n| Matrix::zeros(init[n].rows(), init[n].cols()))
+        .collect();
+    for (src, payload) in gathered.into_iter().enumerate() {
+        let data = payload.into_f64();
+        let mut offset = 0usize;
+        for (n, f) in out.iter_mut().enumerate() {
+            let rows = &plans[src].owned_rows[n];
+            let len = rows.len() * f.cols();
+            write_rows(f, rows, &data[offset..offset + len]);
+            offset += len;
+        }
+    }
+    Some(Ok(out))
+}
+
+/// Splits the tensor over workers and derives row ownership and the
+/// partial/update routing tables.
+fn build_plans(
+    tensor: &SparseTensor,
+    grid: &GridPartition,
+    world: usize,
+) -> Result<Vec<WorkerPlan>> {
+    let order = tensor.order();
+    // Per-worker nonzeros.
+    let mut builders: Vec<SparseTensorBuilder> = (0..world)
+        .map(|_| SparseTensorBuilder::new(tensor.shape().to_vec()))
+        .collect();
+    // Per-worker, per-mode referenced-row sets.
+    let mut needed: Vec<Vec<Vec<bool>>> = (0..world)
+        .map(|_| tensor.shape().iter().map(|&s| vec![false; s]).collect())
+        .collect();
+    for (idx, v) in tensor.iter() {
+        let w = grid.worker_of(idx);
+        builders[w].push(idx, v)?;
+        for (n, &i) in idx.iter().enumerate() {
+            needed[w][n][i] = true;
+        }
+    }
+
+    // Row ownership: every row of every mode has exactly one owner.
+    let mut owned_rows: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); order]; world];
+    let mut owner_of: Vec<Vec<u32>> = Vec::with_capacity(order);
+    for n in 0..order {
+        let mut owners = Vec::with_capacity(tensor.shape()[n]);
+        for row in 0..tensor.shape()[n] {
+            let w = grid.row_owner(n, row);
+            owners.push(w as u32);
+            owned_rows[w][n].push(row as u32);
+        }
+        owner_of.push(owners);
+    }
+
+    // Routing tables.
+    let mut plans = Vec::with_capacity(world);
+    let mut partial_routes_all: Vec<Vec<Vec<Vec<u32>>>> =
+        vec![vec![vec![Vec::new(); world]; order]; world];
+    for (w, worker_needed) in needed.iter().enumerate() {
+        for n in 0..order {
+            for (row, &is_needed) in worker_needed[n].iter().enumerate() {
+                if !is_needed {
+                    continue;
+                }
+                let owner = owner_of[n][row] as usize;
+                if owner != w {
+                    partial_routes_all[w][n][owner].push(row as u32);
+                }
+            }
+        }
+    }
+    // Materialise all serve routes before consuming the partial routes —
+    // worker w serves exactly what each peer d routes to w.
+    let serve_routes_all: Vec<Vec<Vec<Vec<u32>>>> = (0..world)
+        .map(|w| {
+            (0..order)
+                .map(|n| {
+                    (0..world)
+                        .map(|d| partial_routes_all[d][n][w].clone())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut serve_routes_all = serve_routes_all;
+    for (w, builder) in builders.into_iter().enumerate() {
+        let serve_routes = std::mem::take(&mut serve_routes_all[w]);
+        plans.push(WorkerPlan {
+            local: builder.build()?,
+            owned_rows: std::mem::take(&mut owned_rows[w]),
+            partial_routes: std::mem::take(&mut partial_routes_all[w]),
+            serve_routes,
+        });
+    }
+    Ok(plans)
+}
+
+/// Bytes needed to stage the computation (Theorem 4's data-distribution
+/// terms): each worker's tensor partition in coordinate format plus every
+/// factor row it references or owns.
+fn setup_bytes(plans: &[WorkerPlan], order: usize, rank: usize) -> u64 {
+    let mut total = 0u64;
+    for plan in plans {
+        // Coordinate format: N indices + 1 value per nonzero.
+        total += plan.local.nnz() as u64 * (order as u64 + 1) * 8;
+        for n in 0..order {
+            let mut rows = plan.owned_rows[n].len() as u64;
+            for d in 0..plans.len() {
+                rows += plan.partial_routes[n][d].len() as u64;
+            }
+            total += rows * rank as u64 * 8;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::cp_als;
+    use crate::dtd::dtd;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_tensor(shape: &[usize], nnz: usize, seed: u64) -> SparseTensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = SparseTensorBuilder::new(shape.to_vec());
+        for _ in 0..nnz {
+            let idx: Vec<usize> = shape.iter().map(|&s| rng.gen_range(0..s)).collect();
+            b.push(&idx, rng.gen_range(0.5..1.5)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn random_complement(
+        old_shape: &[usize],
+        new_shape: &[usize],
+        nnz: usize,
+        seed: u64,
+    ) -> SparseTensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = SparseTensorBuilder::new(new_shape.to_vec());
+        let mut placed = 0;
+        while placed < nnz {
+            let idx: Vec<usize> = new_shape.iter().map(|&s| rng.gen_range(0..s)).collect();
+            if SparseTensor::block_of(&idx, old_shape) == 0 {
+                continue;
+            }
+            b.push(&idx, rng.gen_range(-1.0..1.0)).unwrap();
+            placed += 1;
+        }
+        b.build().unwrap()
+    }
+
+    fn cfg() -> DecompConfig {
+        DecompConfig::default().with_rank(3).with_max_iters(6).with_seed(5)
+    }
+
+    #[test]
+    fn single_worker_matches_serial_exactly_in_loss() {
+        let old_shape = [4usize, 4, 3];
+        let old: Vec<Matrix> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            old_shape.iter().map(|&s| Matrix::random(s, 3, &mut rng)).collect()
+        };
+        let x = random_complement(&old_shape, &[6, 6, 5], 50, 2);
+        let serial = dtd(&x, &old, &cfg()).unwrap();
+        let dist = dismastd(&x, &old, &cfg(), &ClusterConfig::new(1)).unwrap();
+        assert_eq!(serial.loss_trace.len(), dist.loss_trace.len());
+        for (a, b) in serial.loss_trace.iter().zip(&dist.loss_trace) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+        // One worker ⇒ zero network bytes.
+        assert_eq!(dist.comm.bytes, 0);
+    }
+
+    #[test]
+    fn multi_worker_matches_serial_within_fp_tolerance() {
+        let old_shape = [4usize, 5, 3];
+        let old: Vec<Matrix> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            old_shape.iter().map(|&s| Matrix::random(s, 3, &mut rng)).collect()
+        };
+        let x = random_complement(&old_shape, &[8, 8, 6], 120, 4);
+        let serial = dtd(&x, &old, &cfg()).unwrap();
+        for workers in [2usize, 3, 4] {
+            for p in [Partitioner::Gtp, Partitioner::Mtp] {
+                let dist = dismastd(
+                    &x,
+                    &old,
+                    &cfg(),
+                    &ClusterConfig::new(workers).with_partitioner(p),
+                )
+                .unwrap();
+                for (a, b) in serial.loss_trace.iter().zip(&dist.loss_trace) {
+                    assert!(
+                        (a - b).abs() < 1e-6 * (1.0 + a.abs()),
+                        "workers={workers} {p:?}: {a} vs {b}"
+                    );
+                }
+                // Factors agree too (same fixed point trajectory).
+                for (fs, fd) in serial
+                    .kruskal
+                    .factors()
+                    .iter()
+                    .zip(dist.kruskal.factors())
+                {
+                    assert!(fs.max_abs_diff(fd).unwrap() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dms_mg_matches_serial_als() {
+        let x = random_tensor(&[7, 6, 5], 80, 6);
+        let serial = cp_als(&x, &cfg()).unwrap();
+        let dist = dms_mg(&x, &cfg(), &ClusterConfig::new(3)).unwrap();
+        for (a, b) in serial.loss_trace.iter().zip(&dist.loss_trace) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn multi_worker_communicates_single_does_not() {
+        let x = random_tensor(&[8, 8, 8], 100, 7);
+        let one = dms_mg(&x, &cfg(), &ClusterConfig::new(1)).unwrap();
+        let four = dms_mg(&x, &cfg(), &ClusterConfig::new(4)).unwrap();
+        assert_eq!(one.comm.bytes, 0);
+        assert!(four.comm.bytes > 0);
+        assert!(four.comm.collectives > 0);
+        assert!(four.setup_bytes >= one.setup_bytes);
+    }
+
+    #[test]
+    fn loss_monotone_distributed() {
+        let old_shape = [3usize, 3, 3];
+        let old: Vec<Matrix> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(8);
+            old_shape.iter().map(|&s| Matrix::random(s, 2, &mut rng)).collect()
+        };
+        let x = random_complement(&old_shape, &[6, 6, 6], 70, 9);
+        let out = dismastd(
+            &x,
+            &old,
+            &DecompConfig::default().with_rank(2).with_max_iters(10),
+            &ClusterConfig::new(3),
+        )
+        .unwrap();
+        for w in out.loss_trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9 * (1.0 + w[0].abs()), "{:?}", out.loss_trace);
+        }
+    }
+
+    #[test]
+    fn parts_per_mode_override_works() {
+        let x = random_tensor(&[10, 10, 10], 150, 10);
+        let out = dms_mg(
+            &x,
+            &cfg(),
+            &ClusterConfig::new(2).with_parts_per_mode(vec![5, 5, 5]),
+        )
+        .unwrap();
+        assert_eq!(out.iterations, 6);
+        assert!(out.loss_trace.last().unwrap().is_finite());
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let x = random_tensor(&[4, 4], 10, 11);
+        assert!(dms_mg(&x, &cfg(), &ClusterConfig {
+            workers: 0,
+            partitioner: Partitioner::Mtp,
+            parts_per_mode: None,
+            cell_assignment: CellAssignment::BlockGrid,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn time_per_iter_accounting() {
+        let x = random_tensor(&[6, 6, 6], 60, 12);
+        let out = dms_mg(&x, &cfg(), &ClusterConfig::new(2)).unwrap();
+        assert_eq!(out.iterations, 6);
+        assert!(out.time_per_iter() <= out.iter_elapsed);
+        assert!(out.elapsed >= out.iter_elapsed);
+    }
+
+    #[test]
+    fn empty_complement_distributed() {
+        let old: Vec<Matrix> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            [3usize, 3].iter().map(|&s| Matrix::random(s, 2, &mut rng)).collect()
+        };
+        let x = SparseTensor::empty(vec![5, 5]).unwrap();
+        let out = dismastd(
+            &x,
+            &old,
+            &DecompConfig::default().with_rank(2).with_max_iters(3),
+            &ClusterConfig::new(2),
+        )
+        .unwrap();
+        assert_eq!(out.kruskal.shape(), vec![5, 5]);
+    }
+}

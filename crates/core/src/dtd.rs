@@ -1,0 +1,446 @@
+//! Dynamic Tensor Decomposition — Algorithm 1 with the Eq. 5 update rules,
+//! for tensors of arbitrary order.
+//!
+//! Given the previous snapshot's CP factors `{Ã_n}` and the relative
+//! complement `X \ X̃` of the new snapshot, DTD alternates over modes,
+//! updating the old-row block `A_n^(0)` and new-row block `A_n^(1)` of each
+//! stacked factor.  The previous snapshot tensor itself never appears — its
+//! decomposition stands in for it, weighted by the forgetting factor `μ`
+//! (Eq. 2) — so the per-iteration cost is `O(nnz(X\X̃)·N·R + N·R³ + …)`
+//! (Theorem 2) regardless of how large the accumulated history is.
+//!
+//! The static CP-ALS baseline falls out as the special case of zero-row
+//! previous factors: every row is "new", the `A^(1)` rule is the classic
+//! normal equation `A_n ← Â_n (⊛_{k≠n} G_k)⁻¹`, and the loss degenerates to
+//! `‖X − ⟦A⟧‖²`.  [`crate::als`] wraps exactly that.
+
+use crate::config::DecompConfig;
+use crate::loss::{dtd_loss, GramState, LossParts};
+use dismastd_tensor::linalg::solve_right;
+use dismastd_tensor::matrix::Matrix;
+use dismastd_tensor::mttkrp::{inner_from_mttkrp, mttkrp};
+use dismastd_tensor::ops::{grand_sum_hadamard, hadamard_skip};
+use dismastd_tensor::{KruskalTensor, Result, SparseTensor, TensorError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a DTD (or static ALS) run.
+#[derive(Debug, Clone)]
+pub struct DtdOutput {
+    /// The CP decomposition of the current snapshot.
+    pub kruskal: KruskalTensor,
+    /// Number of ALS iterations executed.
+    pub iterations: usize,
+    /// Eq. 4 loss after every iteration.
+    pub loss_trace: Vec<f64>,
+}
+
+/// Stacks the previous factors over seeded-random new rows — Alg. 1 lines
+/// 1-2 (`A^(0) ← Ã`, `A^(1) ← rand(d_n, R)`).
+///
+/// Exposed so the serial and distributed solvers initialise identically.
+///
+/// # Errors
+/// Returns shape errors if `old_factors` exceed `new_shape` or disagree on
+/// rank.
+pub fn init_factors(
+    old_factors: &[Matrix],
+    new_shape: &[usize],
+    rank: usize,
+    seed: u64,
+) -> Result<Vec<Matrix>> {
+    if old_factors.len() != new_shape.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "init_factors",
+            left: vec![old_factors.len()],
+            right: vec![new_shape.len()],
+        });
+    }
+    let mut factors = Vec::with_capacity(new_shape.len());
+    for (n, (of, &dim)) in old_factors.iter().zip(new_shape).enumerate() {
+        if of.rows() > dim {
+            return Err(TensorError::InvalidArgument(format!(
+                "mode {n}: old factor has {} rows but the new shape is {dim}",
+                of.rows()
+            )));
+        }
+        if of.rows() > 0 && of.cols() != rank {
+            return Err(TensorError::ShapeMismatch {
+                op: "init_factors rank",
+                left: vec![rank],
+                right: vec![of.cols()],
+            });
+        }
+        let d = dim - of.rows();
+        // Separate stream per mode keeps init independent of mode order.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((n as u64 + 1) << 32));
+        let fresh = Matrix::random(d, rank, &mut rng);
+        factors.push(if of.rows() == 0 {
+            fresh
+        } else {
+            of.vstack(&fresh)?
+        });
+    }
+    Ok(factors)
+}
+
+/// Runs DTD (Alg. 1) on the complement tensor.
+///
+/// * `complement` — `X \ X̃` in the **new snapshot's coordinate space**
+///   (shape = new shape; no entry fully inside the old box);
+/// * `old_factors` — `{Ã_n}`, the CP factors of the previous snapshot
+///   (zero-row matrices for a cold start);
+/// * the tensor shape doubles as the new snapshot shape.
+///
+/// # Errors
+/// Validates configuration and shapes; propagates solver errors.
+pub fn dtd(
+    complement: &SparseTensor,
+    old_factors: &[Matrix],
+    cfg: &DecompConfig,
+) -> Result<DtdOutput> {
+    cfg.validate().map_err(TensorError::InvalidArgument)?;
+    let new_shape = complement.shape();
+    let n_modes = complement.order();
+    if old_factors.len() != n_modes {
+        return Err(TensorError::ShapeMismatch {
+            op: "dtd old_factors",
+            left: vec![n_modes],
+            right: vec![old_factors.len()],
+        });
+    }
+    let old_rows: Vec<usize> = old_factors.iter().map(Matrix::rows).collect();
+    // Every complement entry must lie outside the old box.
+    debug_assert!(complement
+        .iter()
+        .all(|(idx, _)| SparseTensor::block_of(idx, &old_rows) != 0));
+
+    let mut factors = init_factors(old_factors, new_shape, cfg.rank, cfg.seed)?;
+    let mut state = GramState::compute(&factors, &old_rows)?;
+    for (k, of) in old_factors.iter().enumerate() {
+        let a0 = factors[k].row_block(0, old_rows[k])?;
+        state.cross[k] = of.cross_gram(&a0)?;
+    }
+
+    // Constants of the snapshot (Sec. IV-B4 "pre-computed" terms).
+    let old_norm_sq = if old_rows.iter().all(|&r| r > 0) {
+        let grams: Vec<Matrix> = old_factors.iter().map(Matrix::gram).collect();
+        let refs: Vec<&Matrix> = grams.iter().collect();
+        grand_sum_hadamard(&refs)?
+    } else {
+        0.0
+    };
+    let complement_norm_sq = complement.norm_sq();
+
+    let mut loss_trace = Vec::with_capacity(cfg.max_iters);
+    let mut iterations = 0;
+    for _iter in 0..cfg.max_iters {
+        let mut final_inner = 0.0;
+        for n in 0..n_modes {
+            // MTTKRP over the complement — the bottleneck operator.
+            let hat = mttkrp(complement, &factors, n)?;
+
+            // Denominators (Eq. 5).
+            let totals: Vec<Matrix> =
+                (0..n_modes).map(|k| state.total(k)).collect::<Result<_>>()?;
+            let d1 = hadamard_skip(&totals, n)?;
+            let d0 = {
+                let g0_had = hadamard_skip(&state.gram0, n)?;
+                d1.sub(&g0_had.scale(1.0 - cfg.forgetting))?
+            };
+
+            let old_n = old_rows[n];
+            let hat0 = hat.row_block(0, old_n)?;
+            let hat1 = hat.row_block(old_n, hat.rows())?;
+
+            // A_n^(0): μ Ã_n (⊛_{k≠n} G̃_k) + Â^(0), divided by D0.
+            let a0 = if old_n > 0 {
+                let cross_had = hadamard_skip(&state.cross, n)?;
+                let mut num0 = old_factors[n].matmul(&cross_had)?;
+                num0.scale_assign(cfg.forgetting);
+                num0.add_assign(&hat0)?;
+                solve_right(&num0, &d0)?
+            } else {
+                Matrix::zeros(0, cfg.rank)
+            };
+
+            // A_n^(1): Â^(1) divided by D1.
+            let a1 = if hat1.rows() > 0 {
+                solve_right(&hat1, &d1)?
+            } else {
+                Matrix::zeros(0, cfg.rank)
+            };
+
+            factors[n] = a0.vstack(&a1)?;
+
+            // Refresh the cached products for mode n (Sec. IV-B3).
+            state.gram0[n] = a0.gram();
+            state.gram1[n] = a1.gram();
+            state.cross[n] = if old_n > 0 {
+                old_factors[n].cross_gram(&a0)?
+            } else {
+                Matrix::zeros(cfg.rank, cfg.rank)
+            };
+
+            if n == n_modes - 1 {
+                // Reuse Â for ⟨X\X̃, ⟦A⟧⟩ (Eq. 7): all other factors are at
+                // their final values for this iteration, and mode n was just
+                // updated from this very Â.
+                final_inner = inner_from_mttkrp(&hat, &factors[n])?;
+            }
+        }
+        iterations += 1;
+        let loss = dtd_loss(
+            &state,
+            &LossParts {
+                mu: cfg.forgetting,
+                old_norm_sq,
+                complement_norm_sq,
+                inner: final_inner,
+            },
+        )?;
+        loss_trace.push(loss);
+        if converged(&loss_trace, cfg.tolerance) {
+            break;
+        }
+    }
+
+    Ok(DtdOutput {
+        kruskal: KruskalTensor::new(factors)?,
+        iterations,
+        loss_trace,
+    })
+}
+
+/// "Fit ceases to improve" test (Alg. 1 line 7): relative improvement of the
+/// last step below `tol`.
+pub(crate) fn converged(trace: &[f64], tol: f64) -> bool {
+    if tol <= 0.0 || trace.len() < 2 {
+        return false;
+    }
+    let prev = trace[trace.len() - 2];
+    let cur = trace[trace.len() - 1];
+    let denom = prev.abs().max(1e-30);
+    (prev - cur) / denom < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::naive_dtd_loss;
+    use dismastd_tensor::SparseTensorBuilder;
+    use rand::Rng;
+
+    fn cfg(rank: usize) -> DecompConfig {
+        DecompConfig::default()
+            .with_rank(rank)
+            .with_max_iters(15)
+            .with_seed(7)
+    }
+
+    /// Complement tensor over `new_shape` given `old_shape`, random entries.
+    fn random_complement(
+        old_shape: &[usize],
+        new_shape: &[usize],
+        nnz: usize,
+        seed: u64,
+    ) -> SparseTensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = SparseTensorBuilder::new(new_shape.to_vec());
+        let mut placed = 0;
+        while placed < nnz {
+            let idx: Vec<usize> = new_shape
+                .iter()
+                .map(|&s| rng.gen_range(0..s))
+                .collect();
+            if SparseTensor::block_of(&idx, old_shape) == 0 {
+                continue;
+            }
+            b.push(&idx, rng.gen_range(-1.0..1.0)).unwrap();
+            placed += 1;
+        }
+        b.build().unwrap()
+    }
+
+    fn random_old_factors(old_shape: &[usize], rank: usize, seed: u64) -> Vec<Matrix> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        old_shape
+            .iter()
+            .map(|&s| Matrix::random(s, rank, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn init_factors_stacks_old_over_random() {
+        let old = random_old_factors(&[3, 2], 2, 1);
+        let f = init_factors(&old, &[5, 4], 2, 9).unwrap();
+        assert_eq!(f[0].rows(), 5);
+        assert_eq!(f[1].rows(), 4);
+        // Old block preserved verbatim.
+        assert_eq!(f[0].row_block(0, 3).unwrap(), old[0]);
+        assert_eq!(f[1].row_block(0, 2).unwrap(), old[1]);
+        // Deterministic per seed.
+        let g = init_factors(&old, &[5, 4], 2, 9).unwrap();
+        assert_eq!(f, g);
+        let h = init_factors(&old, &[5, 4], 2, 10).unwrap();
+        assert_ne!(f, h);
+    }
+
+    #[test]
+    fn init_factors_validates() {
+        let old = random_old_factors(&[5], 2, 1);
+        assert!(init_factors(&old, &[3], 2, 0).is_err()); // shrinking mode
+        assert!(init_factors(&old, &[5, 5], 2, 0).is_err()); // order mismatch
+        assert!(init_factors(&old, &[6], 3, 0).is_err()); // rank mismatch
+    }
+
+    #[test]
+    fn loss_is_monotone_nonincreasing() {
+        // ALS minimises Eq. 4 exactly per block, so the surrogate loss must
+        // not increase between iterations.
+        let old_shape = [4usize, 5, 3];
+        let new_shape = [6usize, 7, 5];
+        let old = random_old_factors(&old_shape, 3, 2);
+        let x = random_complement(&old_shape, &new_shape, 60, 3);
+        let out = dtd(&x, &old, &cfg(3)).unwrap();
+        for w in out.loss_trace.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9 * (1.0 + w[0].abs()),
+                "loss increased: {:?}",
+                out.loss_trace
+            );
+        }
+    }
+
+    #[test]
+    fn internal_loss_matches_naive_oracle_at_convergence() {
+        let old_shape = [3usize, 3, 2];
+        let new_shape = [5usize, 4, 4];
+        let old = random_old_factors(&old_shape, 2, 4);
+        let x = random_complement(&old_shape, &new_shape, 30, 5);
+        let out = dtd(&x, &old, &cfg(2)).unwrap();
+        let reported = *out.loss_trace.last().unwrap();
+        let naive =
+            naive_dtd_loss(&x, &old, out.kruskal.factors(), 0.8).unwrap();
+        assert!(
+            (reported - naive).abs() < 1e-8 * (1.0 + naive.abs()),
+            "{reported} vs {naive}"
+        );
+    }
+
+    #[test]
+    fn exact_rank_recovery_on_synthetic_complement() {
+        // Build a complement that *is* low rank: sample a ground-truth
+        // Kruskal tensor on the full box and keep only cells outside the old
+        // box.  DTD should drive the complement residual near zero.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let old_shape = [3usize, 3, 3];
+        let new_shape = [5usize, 5, 5];
+        let rank = 2;
+        let truth: Vec<Matrix> = new_shape
+            .iter()
+            .map(|&s| Matrix::random(s, rank, &mut rng))
+            .collect();
+        let truth_k = KruskalTensor::new(truth.clone()).unwrap();
+        let dense = truth_k.to_dense().unwrap();
+        let mut b = SparseTensorBuilder::new(new_shape.to_vec());
+        for (idx, v) in dense.iter_all() {
+            if SparseTensor::block_of(&idx, &old_shape) != 0 {
+                b.push(&idx, v).unwrap();
+            }
+        }
+        let complement = b.build().unwrap();
+        // Old factors: the truth restricted to the old box (a perfectly
+        // consistent previous decomposition).
+        let old: Vec<Matrix> = truth
+            .iter()
+            .zip(&old_shape)
+            .map(|(f, &r)| f.row_block(0, r).unwrap())
+            .collect();
+        let out = dtd(
+            &complement,
+            &old,
+            &cfg(rank).with_max_iters(60).with_forgetting(1.0),
+        )
+        .unwrap();
+        let final_loss = *out.loss_trace.last().unwrap();
+        let scale = complement.norm_sq();
+        assert!(
+            final_loss < 1e-4 * scale,
+            "loss {final_loss} vs tensor norm² {scale}"
+        );
+    }
+
+    #[test]
+    fn cold_start_equals_static_behaviour() {
+        // Zero-row old factors: DTD must run and the loss must equal the
+        // static residual ‖X − ⟦A⟧‖².
+        let shape = [6usize, 5, 4];
+        let zero_old: Vec<Matrix> = (0..3).map(|_| Matrix::zeros(0, 3)).collect();
+        let x = random_complement(&[0, 0, 0], &shape, 50, 6);
+        let out = dtd(&x, &zero_old, &cfg(3)).unwrap();
+        let reported = *out.loss_trace.last().unwrap();
+        let direct = out.kruskal.residual_norm_sq(&x).unwrap();
+        assert!(
+            (reported - direct).abs() < 1e-8 * (1.0 + direct),
+            "{reported} vs {direct}"
+        );
+    }
+
+    #[test]
+    fn respects_max_iters_and_tolerance() {
+        let old_shape = [3usize, 3];
+        let new_shape = [5usize, 5];
+        let old = random_old_factors(&old_shape, 2, 8);
+        let x = random_complement(&old_shape, &new_shape, 20, 9);
+        let out = dtd(&x, &old, &cfg(2).with_max_iters(3)).unwrap();
+        assert_eq!(out.iterations, 3);
+        assert_eq!(out.loss_trace.len(), 3);
+        // With a loose tolerance it stops early.
+        let out2 = dtd(&x, &old, &cfg(2).with_max_iters(50).with_tolerance(0.5)).unwrap();
+        assert!(out2.iterations < 50);
+    }
+
+    #[test]
+    fn converged_logic() {
+        assert!(!converged(&[10.0], 1e-2));
+        assert!(!converged(&[10.0, 5.0], 1e-2)); // 50% improvement
+        assert!(converged(&[10.0, 9.9999], 1e-2)); // 0.001% improvement
+        assert!(!converged(&[10.0, 9.0], 0.0)); // tol 0 never converges
+        assert!(converged(&[5.0, 5.0], 1e-9)); // no improvement at all
+    }
+
+    #[test]
+    fn fourth_order_tensor_supported() {
+        let old_shape = [2usize, 3, 2, 2];
+        let new_shape = [4usize, 4, 3, 3];
+        let old = random_old_factors(&old_shape, 2, 12);
+        let x = random_complement(&old_shape, &new_shape, 40, 13);
+        let out = dtd(&x, &old, &cfg(2)).unwrap();
+        assert_eq!(out.kruskal.order(), 4);
+        assert_eq!(out.kruskal.shape(), new_shape.to_vec());
+        for w in out.loss_trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9 * (1.0 + w[0].abs()));
+        }
+    }
+
+    #[test]
+    fn empty_complement_keeps_old_factors_shape() {
+        // Snapshot grew but no new nonzeros arrived: DTD still runs (the
+        // new rows fit only the μ-term and the zero complement).
+        let old_shape = [3usize, 3];
+        let old = random_old_factors(&old_shape, 2, 14);
+        let x = SparseTensor::empty(vec![4, 4]).unwrap();
+        let out = dtd(&x, &old, &cfg(2)).unwrap();
+        assert_eq!(out.kruskal.shape(), vec![4, 4]);
+    }
+
+    #[test]
+    fn rejects_bad_config_and_shapes() {
+        let old = random_old_factors(&[2, 2], 2, 15);
+        let x = SparseTensor::empty(vec![3, 3]).unwrap();
+        assert!(dtd(&x, &old, &cfg(0)).is_err()); // rank 0
+        let bad_old = random_old_factors(&[2], 2, 15);
+        assert!(dtd(&x, &bad_old, &cfg(2)).is_err()); // order mismatch
+    }
+}

@@ -1,0 +1,158 @@
+//! Rank selection — a practical utility the paper assumes away.
+//!
+//! The paper fixes `R = 10` ("usually a small positive integer denoting an
+//! upper bound of the rank", Def. 3); downstream users have to *choose* it.
+//! [`select_rank`] runs CP-ALS at a list of candidate ranks and picks the
+//! elbow: the smallest rank after which the fit improvement per added rank
+//! drops below a threshold.
+
+use crate::als::cp_als;
+use crate::config::DecompConfig;
+use dismastd_tensor::{Result, SparseTensor, TensorError};
+
+/// Outcome of a rank search.
+#[derive(Debug, Clone)]
+pub struct RankSearch {
+    /// Every `(rank, fit)` pair evaluated, in candidate order.
+    pub evaluated: Vec<(usize, f64)>,
+    /// The selected rank.
+    pub selected: usize,
+}
+
+/// Evaluates `candidates` (strictly increasing) and selects the elbow.
+///
+/// The fit `1 − ‖X − ⟦A⟧‖/‖X‖` is measured for each candidate with a fresh
+/// CP-ALS run under `cfg` (its `rank` field is overridden).  The selected
+/// rank is the first candidate whose successor improves the fit by less
+/// than `min_gain` *per additional rank unit*; if every step keeps paying,
+/// the largest candidate wins.
+///
+/// # Errors
+/// Returns [`TensorError::InvalidArgument`] for an empty or non-increasing
+/// candidate list or a zero tensor; propagates solver errors.
+pub fn select_rank(
+    x: &SparseTensor,
+    candidates: &[usize],
+    cfg: &DecompConfig,
+    min_gain: f64,
+) -> Result<RankSearch> {
+    if candidates.is_empty() {
+        return Err(TensorError::InvalidArgument(
+            "at least one candidate rank required".into(),
+        ));
+    }
+    for w in candidates.windows(2) {
+        if w[0] >= w[1] {
+            return Err(TensorError::InvalidArgument(
+                "candidate ranks must be strictly increasing".into(),
+            ));
+        }
+    }
+    if x.is_empty() {
+        return Err(TensorError::InvalidArgument(
+            "rank selection needs a non-empty tensor".into(),
+        ));
+    }
+    let mut evaluated = Vec::with_capacity(candidates.len());
+    for &r in candidates {
+        let out = cp_als(x, &cfg.with_rank(r))?;
+        evaluated.push((r, out.kruskal.fit(x)?));
+    }
+    let mut selected = *candidates.last().expect("non-empty");
+    for w in evaluated.windows(2) {
+        let (r0, f0) = w[0];
+        let (r1, f1) = w[1];
+        let gain_per_rank = (f1 - f0) / (r1 - r0) as f64;
+        if gain_per_rank < min_gain {
+            selected = r0;
+            break;
+        }
+    }
+    Ok(RankSearch {
+        evaluated,
+        selected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismastd_tensor::{KruskalTensor, Matrix, SparseTensorBuilder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn exact_rank_tensor(rank: usize, seed: u64) -> SparseTensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let shape = [10usize, 9, 8];
+        let k = KruskalTensor::new(
+            shape
+                .iter()
+                .map(|&s| Matrix::random(s, rank, &mut rng))
+                .collect(),
+        )
+        .expect("equal ranks");
+        let dense = k.to_dense().expect("small");
+        let mut b = SparseTensorBuilder::new(shape.to_vec());
+        for (idx, v) in dense.iter_all() {
+            b.push(&idx, v).expect("in bounds");
+        }
+        b.build().expect("valid")
+    }
+
+    fn cfg() -> DecompConfig {
+        DecompConfig::default()
+            .with_max_iters(60)
+            .with_tolerance(1e-10)
+    }
+
+    #[test]
+    fn finds_the_true_rank_of_an_exact_tensor() {
+        let x = exact_rank_tensor(3, 1);
+        let search = select_rank(&x, &[1, 2, 3, 4, 5], &cfg(), 0.02).unwrap();
+        assert_eq!(search.evaluated.len(), 5);
+        // Fit climbs until rank 3 and then flattens.
+        assert!(
+            search.selected == 3 || search.selected == 4,
+            "selected {} from {:?}",
+            search.selected,
+            search.evaluated
+        );
+        let fit_at = |r: usize| {
+            search
+                .evaluated
+                .iter()
+                .find(|(cr, _)| *cr == r)
+                .expect("evaluated")
+                .1
+        };
+        assert!(fit_at(3) > 0.98);
+        assert!(fit_at(1) < fit_at(3));
+    }
+
+    #[test]
+    fn falls_back_to_largest_when_fit_keeps_improving() {
+        // Noisy tensor: fit keeps improving; with min_gain 0 every step
+        // counts, so the last candidate is selected.
+        let x = exact_rank_tensor(6, 2);
+        let search = select_rank(&x, &[1, 2], &cfg().with_max_iters(10), 0.0).unwrap();
+        assert_eq!(search.selected, 2);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let x = exact_rank_tensor(2, 3);
+        assert!(select_rank(&x, &[], &cfg(), 0.01).is_err());
+        assert!(select_rank(&x, &[3, 3], &cfg(), 0.01).is_err());
+        assert!(select_rank(&x, &[3, 2], &cfg(), 0.01).is_err());
+        let empty = SparseTensor::empty(vec![3, 3]).unwrap();
+        assert!(select_rank(&empty, &[1, 2], &cfg(), 0.01).is_err());
+    }
+
+    #[test]
+    fn single_candidate_is_returned() {
+        let x = exact_rank_tensor(2, 4);
+        let search = select_rank(&x, &[2], &cfg().with_max_iters(5), 0.01).unwrap();
+        assert_eq!(search.selected, 2);
+        assert_eq!(search.evaluated.len(), 1);
+    }
+}

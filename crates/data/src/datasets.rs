@@ -1,0 +1,206 @@
+//! Scaled stand-ins for the paper's evaluation datasets (Table III).
+//!
+//! | Paper dataset | I | J | K | nnz | distribution |
+//! |---|---|---|---|---|---|
+//! | Clothing  | 1.2e7 | 2.7e6 | 7.0e3 | 3.2e7 | skewed (reviews) |
+//! | Book      | 1.5e7 | 2.9e6 | 8.2e3 | 5.1e7 | skewed (reviews) |
+//! | Netflix   | 4.8e5 | 1.8e4 | 2.2e3 | 1.0e8 | skewed (ratings) |
+//! | Synthetic | 5.0e4 | 5.0e4 | 5.0e4 | 5.0e8 | uniform |
+//!
+//! The originals are not redistributable and far exceed a laptop run, so
+//! each profile here keeps the mode-size *ordering* (I ≫ J ≫ K) and the
+//! *skewed vs uniform* contrast while scaling the absolute sizes down
+//! (`scale = 1.0` targets 10⁶ nonzeros per dataset, keeping the nnz-to-mode-size density ratios high enough that per-iteration compute dominates row traffic, as in the paper).  Two deliberate deviations
+//! from the raw Table III ratios, both needed to keep the scaled tensors in
+//! the paper's operating regime: the short modes (time/date) are enlarged
+//! relative to I so that every mode keeps far more slices than the largest
+//! partition count swept (38), and the time mode uses a mild Zipf exponent
+//! (dates are nearly uniform in review data).  The Table IV / Fig. 5-7
+//! phenomena depend on the skew contrast and slices ≫ partitions, not on
+//! absolute size.
+
+use crate::synth::{uniform_tensor, zipf_tensor};
+use dismastd_tensor::{Result, SparseTensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Index-distribution family of a dataset profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Skew {
+    /// Uniform indices in every mode (paper's *Synthetic*).
+    Uniform,
+    /// Zipf indices with one exponent per mode (paper's real datasets).
+    Zipf(Vec<f64>),
+}
+
+/// A named, reproducible dataset recipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper's figures ("Clothing", …).
+    pub name: String,
+    /// Mode sizes.
+    pub shape: Vec<usize>,
+    /// Target number of nonzeros.
+    pub nnz: usize,
+    /// Index distribution.
+    pub skew: Skew,
+    /// RNG seed — same spec, same tensor.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Clothing-like profile: extreme I ≫ J ≫ K ratio, review-style skew.
+    pub fn clothing(scale: f64) -> Self {
+        DatasetSpec {
+            name: "Clothing".into(),
+            shape: scaled(&[24_000, 5_400, 1_400], scale),
+            nnz: (768_000.0 * scale.powi(2)) as usize,
+            skew: Skew::Zipf(vec![0.9, 0.8, 0.3]),
+            seed: 0xC10,
+        }
+    }
+
+    /// Book-like profile: slightly larger than Clothing, same family.
+    pub fn book(scale: f64) -> Self {
+        DatasetSpec {
+            name: "Book".into(),
+            shape: scaled(&[30_000, 5_800, 1_640], scale),
+            nnz: (1_224_000.0 * scale.powi(2)) as usize,
+            skew: Skew::Zipf(vec![0.9, 0.8, 0.3]),
+            seed: 0xB00C,
+        }
+    }
+
+    /// Netflix-like profile: much denser (nnz ≫ I), strong head skew on
+    /// movies, mild on users.
+    pub fn netflix(scale: f64) -> Self {
+        DatasetSpec {
+            name: "Netflix".into(),
+            shape: scaled(&[9_600, 720, 440], scale),
+            nnz: (4_000_000.0 * scale.powi(2)) as usize,
+            skew: Skew::Zipf(vec![0.7, 0.9, 0.25]),
+            seed: 0x0E7F,
+        }
+    }
+
+    /// Synthetic profile: cubic shape, uniform distribution (the Table IV
+    /// control where GTP ≈ MTP).
+    pub fn synthetic(scale: f64) -> Self {
+        DatasetSpec {
+            name: "Synthetic".into(),
+            shape: scaled(&[2_000, 2_000, 2_000], scale),
+            nnz: (2_000_000.0 * scale.powi(2)) as usize,
+            skew: Skew::Uniform,
+            seed: 0x517,
+        }
+    }
+
+    /// All four paper datasets at the given scale, in Table III order.
+    pub fn all(scale: f64) -> Vec<DatasetSpec> {
+        vec![
+            Self::clothing(scale),
+            Self::book(scale),
+            Self::netflix(scale),
+            Self::synthetic(scale),
+        ]
+    }
+
+    /// Materialises the tensor described by this spec.
+    ///
+    /// # Errors
+    /// Propagates generator errors (infeasible density and the like).
+    pub fn generate(&self) -> Result<SparseTensor> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let nnz = self.feasible_nnz();
+        match &self.skew {
+            Skew::Uniform => uniform_tensor(&self.shape, nnz, &mut rng),
+            Skew::Zipf(exps) => zipf_tensor(&self.shape, nnz, exps, &mut rng),
+        }
+    }
+
+    /// The requested nnz, capped at half the cell count so generation
+    /// terminates even for tiny scaled shapes.
+    fn feasible_nnz(&self) -> usize {
+        let cells: f64 = self.shape.iter().map(|&s| s as f64).product();
+        (self.nnz).min((cells * 0.5) as usize).max(1)
+    }
+}
+
+fn scaled(base: &[usize], scale: f64) -> Vec<usize> {
+    base.iter()
+        .map(|&s| ((s as f64 * scale).round() as usize).max(4))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_generate_at_small_scale() {
+        for spec in DatasetSpec::all(0.2) {
+            let t = spec.generate().unwrap();
+            assert_eq!(t.shape(), spec.shape.as_slice(), "{}", spec.name);
+            assert!(t.nnz() > 0, "{} generated empty", spec.name);
+            // Within 20% of the (feasibility-capped) target.
+            let target = spec.feasible_nnz() as f64;
+            assert!(
+                (t.nnz() as f64) > 0.8 * target,
+                "{}: {} of {}",
+                spec.name,
+                t.nnz(),
+                target
+            );
+        }
+    }
+
+    #[test]
+    fn real_profiles_are_skewed_synthetic_is_not() {
+        let skewed = DatasetSpec::netflix(0.2).generate().unwrap();
+        let hist = skewed.slice_nnz(1).unwrap();
+        let mean = skewed.nnz() as f64 / hist.len() as f64;
+        let max = *hist.iter().max().unwrap() as f64;
+        assert!(max > 2.5 * mean, "netflix not skewed: {max} vs {mean}");
+
+        let uni = DatasetSpec::synthetic(0.2).generate().unwrap();
+        let uh = uni.slice_nnz(0).unwrap();
+        let umean = uni.nnz() as f64 / uh.len() as f64;
+        let umax = *uh.iter().max().unwrap() as f64;
+        assert!(umax < 3.0 * umean, "synthetic too skewed: {umax} vs {umean}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetSpec::clothing(0.1).generate().unwrap();
+        let b = DatasetSpec::clothing(0.1).generate().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_shrinks_shapes_with_floor() {
+        let big = DatasetSpec::book(1.0);
+        let small = DatasetSpec::book(0.01);
+        assert!(small.shape[0] < big.shape[0]);
+        assert!(small.shape.iter().all(|&s| s >= 4));
+    }
+
+    #[test]
+    fn feasible_nnz_caps_density() {
+        let spec = DatasetSpec {
+            name: "tiny".into(),
+            shape: vec![4, 4, 4],
+            nnz: 1_000_000,
+            skew: Skew::Uniform,
+            seed: 1,
+        };
+        assert!(spec.feasible_nnz() <= 32);
+        assert!(spec.generate().is_ok());
+    }
+
+    #[test]
+    fn table_iii_order() {
+        let names: Vec<String> = DatasetSpec::all(0.1).into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["Clothing", "Book", "Netflix", "Synthetic"]);
+    }
+}

@@ -1,0 +1,547 @@
+//! Medium-grain N-dimensional grid partitioning (Sec. IV-A2/IV-A3, Fig. 3-4).
+//!
+//! Per-mode slice partitions (from GTP or MTP) induce an N-dimensional grid
+//! of cells over the tensor; every nonzero falls in exactly one cell.  Cells
+//! are mapped onto workers by one of two strategies:
+//!
+//! * [`CellAssignment::BlockGrid`] (default) — the medium-grain layout of
+//!   the paper (and of SPLATT's DMS-MG): the `M` workers form an
+//!   `m_1 × … × m_N` grid with `Π m_n = M`, and cell `(c_1, …, c_N)` goes to
+//!   worker `(⌊c_1 m_1 / p_1⌋, …)`.  Each worker's cells then reference only
+//!   `I_n / m_n` factor rows per mode, which is what keeps the row-exchange
+//!   volume sub-linear in `M`.
+//! * [`CellAssignment::Scatter`] — max-min fit of cells onto workers by
+//!   nnz, ignoring locality.  Best-possible load balance, worst-case
+//!   communication; kept as an ablation of the locality/balance trade-off.
+//!
+//! Factor-matrix rows follow the tensor rows: each mode-`n` slice group is
+//! owned by the worker holding the most nonzeros referencing it
+//! (Sec. IV-A3's row-wise factor assignment).
+
+use crate::{ModePartition, Partitioner};
+use dismastd_tensor::{Result, SparseTensor, TensorError};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Strategy for mapping grid cells onto workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellAssignment {
+    /// Locality-preserving medium-grain worker grid (the paper's layout).
+    BlockGrid,
+    /// Locality-blind max-min fit by cell nnz (ablation).
+    Scatter,
+}
+
+/// A complete data-placement plan: per-mode partitions, the cell→worker map,
+/// and per-mode factor-row ownership.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridPartition {
+    mode_partitions: Vec<ModePartition>,
+    num_workers: usize,
+    /// Dense cell→worker map; cell id = Σ_k coord_k · stride_k.
+    cell_workers: Vec<u32>,
+    strides: Vec<usize>,
+    /// `row_owners[mode][partition] = worker` owning those factor rows.
+    row_owners: Vec<Vec<u32>>,
+}
+
+impl GridPartition {
+    /// Builds the placement plan for `tensor` with the default
+    /// locality-preserving assignment.
+    ///
+    /// * `partitioner` — GTP or MTP, applied independently per mode;
+    /// * `parts_per_mode[n]` — the paper's `p_n`;
+    /// * `num_workers` — `M` worker nodes (≥ 1).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] when `parts_per_mode` does
+    /// not match the tensor order or `num_workers == 0`.
+    pub fn build(
+        tensor: &SparseTensor,
+        partitioner: Partitioner,
+        parts_per_mode: &[usize],
+        num_workers: usize,
+    ) -> Result<Self> {
+        Self::build_with(
+            tensor,
+            partitioner,
+            parts_per_mode,
+            num_workers,
+            CellAssignment::BlockGrid,
+        )
+    }
+
+    /// [`GridPartition::build`] with an explicit cell-assignment strategy.
+    ///
+    /// # Errors
+    /// As for [`GridPartition::build`].
+    pub fn build_with(
+        tensor: &SparseTensor,
+        partitioner: Partitioner,
+        parts_per_mode: &[usize],
+        num_workers: usize,
+        assignment: CellAssignment,
+    ) -> Result<Self> {
+        if parts_per_mode.len() != tensor.order() {
+            return Err(TensorError::InvalidArgument(format!(
+                "parts_per_mode has {} entries for an order-{} tensor",
+                parts_per_mode.len(),
+                tensor.order()
+            )));
+        }
+        if num_workers == 0 {
+            return Err(TensorError::InvalidArgument(
+                "num_workers must be >= 1".into(),
+            ));
+        }
+
+        // Per-mode slice partitions (Algorithms 2-3 applied mode by mode).
+        let mut mode_partitions = Vec::with_capacity(tensor.order());
+        for (mode, &p) in parts_per_mode.iter().enumerate() {
+            let hist = tensor.slice_nnz(mode)?;
+            mode_partitions.push(partitioner.partition(&hist, p));
+        }
+        Self::from_mode_partitions(tensor, mode_partitions, num_workers, assignment)
+    }
+
+    /// Builds the plan from explicit per-mode partitions (used by tests and
+    /// by the streaming driver, which re-partitions only the complement).
+    ///
+    /// # Errors
+    /// Returns an error if the partitions do not cover the tensor's shape.
+    pub fn from_mode_partitions(
+        tensor: &SparseTensor,
+        mode_partitions: Vec<ModePartition>,
+        num_workers: usize,
+        assignment: CellAssignment,
+    ) -> Result<Self> {
+        if mode_partitions.len() != tensor.order() {
+            return Err(TensorError::InvalidArgument(
+                "one ModePartition per mode required".into(),
+            ));
+        }
+        for (mode, mp) in mode_partitions.iter().enumerate() {
+            if mp.num_slices() != tensor.shape()[mode] {
+                return Err(TensorError::InvalidArgument(format!(
+                    "mode {mode}: partition covers {} slices, tensor has {}",
+                    mp.num_slices(),
+                    tensor.shape()[mode]
+                )));
+            }
+        }
+
+        // Cell id strides (row-major over partition counts).
+        let order = tensor.order();
+        let mut strides = vec![1usize; order];
+        for k in (0..order.saturating_sub(1)).rev() {
+            strides[k] = strides[k + 1] * mode_partitions[k + 1].num_parts();
+        }
+        let num_cells = mode_partitions
+            .iter()
+            .map(ModePartition::num_parts)
+            .product::<usize>()
+            .max(1);
+
+        // Count nnz per cell.
+        let mut cell_nnz = vec![0u64; num_cells];
+        for (idx, _) in tensor.iter() {
+            let cell = cell_id(idx, &mode_partitions, &strides);
+            cell_nnz[cell] += 1;
+        }
+
+        let cell_workers = match assignment {
+            CellAssignment::BlockGrid => {
+                assign_block_grid(&mode_partitions, &strides, num_cells, num_workers)
+            }
+            CellAssignment::Scatter => {
+                assign_scatter(&cell_nnz, num_workers)
+            }
+        };
+
+        // Factor-row ownership: for each (mode, partition) pick the worker
+        // holding the most nonzeros whose mode-coordinate lands there.
+        let mut row_owners = Vec::with_capacity(order);
+        for mode in 0..order {
+            let parts = mode_partitions[mode].num_parts();
+            let mut weight = vec![0u64; parts * num_workers];
+            for (cell, &nnz) in cell_nnz.iter().enumerate() {
+                if nnz == 0 {
+                    continue;
+                }
+                let coord = (cell / strides[mode]) % mode_partitions[mode].num_parts();
+                let w = cell_workers[cell] as usize;
+                weight[coord * num_workers + w] += nnz;
+            }
+            let owners: Vec<u32> = (0..parts)
+                .map(|p| {
+                    let row = &weight[p * num_workers..(p + 1) * num_workers];
+                    let (best_w, best) = row
+                        .iter()
+                        .enumerate()
+                        .fold((0usize, 0u64), |acc, (w, &v)| {
+                            if v > acc.1 {
+                                (w, v)
+                            } else {
+                                acc
+                            }
+                        });
+                    if best == 0 {
+                        (p % num_workers) as u32 // empty partition: round-robin
+                    } else {
+                        best_w as u32
+                    }
+                })
+                .collect();
+            row_owners.push(owners);
+        }
+
+        Ok(GridPartition {
+            mode_partitions,
+            num_workers,
+            cell_workers,
+            strides,
+            row_owners,
+        })
+    }
+
+    /// Number of workers `M`.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.mode_partitions.len()
+    }
+
+    /// The mode-`n` slice partition.
+    pub fn mode_partition(&self, mode: usize) -> &ModePartition {
+        &self.mode_partitions[mode]
+    }
+
+    /// Worker that owns the nonzero at `idx`.
+    #[inline]
+    pub fn worker_of(&self, idx: &[usize]) -> usize {
+        let cell = cell_id(idx, &self.mode_partitions, &self.strides);
+        self.cell_workers[cell] as usize
+    }
+
+    /// Worker that owns the factor rows of the given mode partition.
+    #[inline]
+    pub fn part_owner(&self, mode: usize, part: usize) -> usize {
+        self.row_owners[mode][part] as usize
+    }
+
+    /// Worker that owns factor row `slice` of `mode`.
+    #[inline]
+    pub fn row_owner(&self, mode: usize, slice: usize) -> usize {
+        self.part_owner(mode, self.mode_partitions[mode].part_of(slice))
+    }
+
+    /// Per-worker nonzero loads for a tensor placed with this plan.
+    pub fn worker_loads(&self, tensor: &SparseTensor) -> Vec<u64> {
+        let mut loads = vec![0u64; self.num_workers];
+        for (idx, _) in tensor.iter() {
+            loads[self.worker_of(idx)] += 1;
+        }
+        loads
+    }
+}
+
+#[inline]
+fn cell_id(idx: &[usize], mode_partitions: &[ModePartition], strides: &[usize]) -> usize {
+    idx.iter()
+        .zip(mode_partitions)
+        .zip(strides)
+        .map(|((&i, mp), &s)| mp.part_of(i) * s)
+        .sum()
+}
+
+/// Factors `workers` into per-mode grid dimensions `m_n` with `Π m_n ≤ M`
+/// as close to `M` as possible, never exceeding the partition count of a
+/// mode.  Prime factors are assigned largest-first to the mode whose grid
+/// dimension is currently smallest relative to its partition count.
+fn worker_grid_dims(parts_per_mode: &[usize], workers: usize) -> Vec<usize> {
+    let order = parts_per_mode.len();
+    let mut dims = vec![1usize; order];
+    for f in prime_factors_desc(workers) {
+        // Pick the growable mode with the smallest current dimension,
+        // preferring modes with more partitions on ties.
+        let candidate = (0..order)
+            .filter(|&n| dims[n] * f <= parts_per_mode[n].max(1))
+            .min_by_key(|&n| (dims[n], Reverse(parts_per_mode[n])));
+        match candidate {
+            Some(n) => dims[n] *= f,
+            None => break, // no mode can absorb this factor; leave idle workers
+        }
+    }
+    dims
+}
+
+fn prime_factors_desc(mut n: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    let mut d = 2usize;
+    while d * d <= n {
+        while n.is_multiple_of(d) {
+            factors.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors.sort_unstable_by_key(|&f| Reverse(f));
+    factors
+}
+
+/// Medium-grain block assignment: worker grid `m_1 × … × m_N`, cell
+/// `(c_1, …, c_N)` → worker coordinates `⌊c_n m_n / p_n⌋`.
+fn assign_block_grid(
+    mode_partitions: &[ModePartition],
+    strides: &[usize],
+    num_cells: usize,
+    workers: usize,
+) -> Vec<u32> {
+    let parts: Vec<usize> = mode_partitions.iter().map(ModePartition::num_parts).collect();
+    let dims = worker_grid_dims(&parts, workers);
+    // Mixed-radix strides for worker coordinates.
+    let order = dims.len();
+    let mut wstrides = vec![1usize; order];
+    for k in (0..order.saturating_sub(1)).rev() {
+        wstrides[k] = wstrides[k + 1] * dims[k + 1];
+    }
+    (0..num_cells)
+        .map(|cell| {
+            let mut worker = 0usize;
+            for n in 0..order {
+                let p_n = parts[n].max(1);
+                let c_n = (cell / strides[n]) % p_n;
+                let w_n = (c_n * dims[n]) / p_n;
+                worker += w_n * wstrides[n];
+            }
+            worker as u32
+        })
+        .collect()
+}
+
+/// Scatter assignment: max-min fit of cells onto workers by nnz (heaviest
+/// cell to the lightest worker), empty cells round-robin.
+fn assign_scatter(cell_nnz: &[u64], workers: usize) -> Vec<u32> {
+    let mut cell_order: Vec<usize> = (0..cell_nnz.len()).collect();
+    cell_order.sort_unstable_by_key(|&c| (Reverse(cell_nnz[c]), c));
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+        (0..workers as u32).map(|w| Reverse((0u64, w))).collect();
+    let mut cell_workers = vec![0u32; cell_nnz.len()];
+    for (i, &cell) in cell_order.iter().enumerate() {
+        if cell_nnz[cell] == 0 {
+            cell_workers[cell] = (i % workers) as u32;
+            continue;
+        }
+        let Reverse((load, w)) = heap.pop().expect("heap holds all workers");
+        cell_workers[cell] = w;
+        heap.push(Reverse((load + cell_nnz[cell], w)));
+    }
+    cell_workers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dismastd_tensor::SparseTensorBuilder;
+
+    fn test_tensor() -> SparseTensor {
+        let mut b = SparseTensorBuilder::new(vec![4, 4, 4]);
+        // A diagonal plus some off-diagonal mass.
+        for i in 0..4 {
+            b.push(&[i, i, i], 1.0).unwrap();
+        }
+        b.push(&[0, 1, 2], 2.0).unwrap();
+        b.push(&[3, 0, 1], -1.0).unwrap();
+        b.push(&[1, 3, 0], 0.5).unwrap();
+        b.push(&[2, 2, 0], 4.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_validates_arguments() {
+        let t = test_tensor();
+        assert!(GridPartition::build(&t, Partitioner::Mtp, &[2, 2], 2).is_err());
+        assert!(GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 0).is_err());
+        assert!(GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 2).is_ok());
+    }
+
+    #[test]
+    fn every_nonzero_has_exactly_one_worker() {
+        let t = test_tensor();
+        for partitioner in [Partitioner::Gtp, Partitioner::Mtp] {
+            for assignment in [CellAssignment::BlockGrid, CellAssignment::Scatter] {
+                let g = GridPartition::build_with(
+                    &t,
+                    partitioner,
+                    &[2, 2, 2],
+                    3,
+                    assignment,
+                )
+                .unwrap();
+                let loads = g.worker_loads(&t);
+                assert_eq!(loads.iter().sum::<u64>(), t.nnz() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_one_takes_everything() {
+        let t = test_tensor();
+        let g = GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 1).unwrap();
+        assert_eq!(g.worker_loads(&t), vec![t.nnz() as u64]);
+        for (idx, _) in t.iter() {
+            assert_eq!(g.worker_of(idx), 0);
+        }
+    }
+
+    #[test]
+    fn grid_dims_factor_workers() {
+        assert_eq!(worker_grid_dims(&[15, 15, 15], 15), vec![5, 3, 1]);
+        assert_eq!(worker_grid_dims(&[8, 8, 8], 8), vec![2, 2, 2]);
+        assert_eq!(worker_grid_dims(&[12, 12, 12], 12), vec![3, 2, 2]);
+        assert_eq!(worker_grid_dims(&[9, 9], 6), vec![3, 2]);
+        assert_eq!(worker_grid_dims(&[4, 4, 4], 1), vec![1, 1, 1]);
+        // A mode with few partitions cannot absorb more splits than it has
+        // partitions; the 2s spread across all three modes.
+        assert_eq!(worker_grid_dims(&[2, 16, 2], 8), vec![2, 2, 2]);
+        // Once the small modes are saturated, the rest lands on the big one.
+        assert_eq!(worker_grid_dims(&[2, 64, 2], 32), vec![2, 8, 2]);
+        // Totally unabsorbable factors leave idle workers rather than panic.
+        assert_eq!(worker_grid_dims(&[2, 2], 64), vec![2, 2]);
+    }
+
+    #[test]
+    fn prime_factorisation() {
+        assert_eq!(prime_factors_desc(1), Vec::<usize>::new());
+        assert_eq!(prime_factors_desc(12), vec![3, 2, 2]);
+        assert_eq!(prime_factors_desc(15), vec![5, 3]);
+        assert_eq!(prime_factors_desc(7), vec![7]);
+    }
+
+    #[test]
+    fn block_grid_preserves_locality() {
+        // With a 2x2x1 worker grid over 4 partitions per mode, cells with
+        // the same leading partition coordinates share a worker.
+        let mut b = SparseTensorBuilder::new(vec![8, 8, 8]);
+        for i in 0..8 {
+            for j in 0..8 {
+                b.push(&[i, j, (i + j) % 8], 1.0).unwrap();
+            }
+        }
+        let t = b.build().unwrap();
+        let g = GridPartition::build(&t, Partitioner::Gtp, &[4, 4, 4], 4).unwrap();
+        // Workers referenced per mode-0 partition should be limited: each
+        // mode-0 partition block maps to at most half the workers.
+        for part_range in [0..2usize, 2..4usize] {
+            let mut seen = std::collections::BTreeSet::new();
+            for (idx, _) in t.iter() {
+                let part = g.mode_partition(0).part_of(idx[0]);
+                if part_range.contains(&part) {
+                    seen.insert(g.worker_of(idx));
+                }
+            }
+            assert!(
+                seen.len() <= 2,
+                "mode-0 block {part_range:?} scattered to {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scatter_balances_better_than_or_equal_block() {
+        let mut b = SparseTensorBuilder::new(vec![12, 12, 12]);
+        let mut v = 0.0;
+        for i in 0..12 {
+            for j in 0..12 {
+                if (i + j) % 2 == 0 {
+                    v += 1.0;
+                    b.push(&[i, j, (i * j) % 12], v).unwrap();
+                }
+            }
+        }
+        let t = b.build().unwrap();
+        let max_of = |assignment| {
+            let g = GridPartition::build_with(&t, Partitioner::Mtp, &[4, 4, 4], 4, assignment)
+                .unwrap();
+            g.worker_loads(&t).into_iter().max().unwrap()
+        };
+        assert!(max_of(CellAssignment::Scatter) <= max_of(CellAssignment::BlockGrid));
+    }
+
+    #[test]
+    fn loads_are_reasonably_balanced() {
+        let mut b = SparseTensorBuilder::new(vec![12, 12, 12]);
+        let mut v = 0.0;
+        for i in 0..12 {
+            for j in 0..12 {
+                if (i + j) % 2 == 0 {
+                    v += 1.0;
+                    b.push(&[i, j, (i * j) % 12], v).unwrap();
+                }
+            }
+        }
+        let t = b.build().unwrap();
+        let g = GridPartition::build(&t, Partitioner::Mtp, &[4, 4, 4], 4).unwrap();
+        let loads = g.worker_loads(&t);
+        let mean = t.nnz() as f64 / 4.0;
+        assert!(
+            loads.iter().all(|&l| (l as f64) < 2.5 * mean),
+            "loads {loads:?} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn row_owner_consistent_with_part_owner() {
+        let t = test_tensor();
+        let g = GridPartition::build(&t, Partitioner::Gtp, &[2, 2, 2], 2).unwrap();
+        for mode in 0..3 {
+            for slice in 0..4 {
+                let part = g.mode_partition(mode).part_of(slice);
+                assert_eq!(g.row_owner(mode, slice), g.part_owner(mode, part));
+                assert!(g.row_owner(mode, slice) < g.num_workers());
+            }
+        }
+    }
+
+    #[test]
+    fn row_owner_holds_data_when_possible() {
+        let mut b = SparseTensorBuilder::new(vec![2, 2, 2]);
+        b.push(&[0, 0, 0], 1.0).unwrap();
+        b.push(&[0, 1, 1], 1.0).unwrap();
+        b.push(&[0, 1, 0], 1.0).unwrap();
+        let t = b.build().unwrap();
+        let g = GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 2).unwrap();
+        let loads = g.worker_loads(&t);
+        let owner = g.row_owner(0, 0);
+        assert!(loads[owner] > 0, "owner {owner} of the only populated slice has no data");
+    }
+
+    #[test]
+    fn empty_tensor_is_placeable() {
+        let t = SparseTensor::empty(vec![3, 3]).unwrap();
+        let g = GridPartition::build(&t, Partitioner::Gtp, &[2, 2], 2).unwrap();
+        assert_eq!(g.worker_loads(&t), vec![0, 0]);
+        for mode in 0..2 {
+            for slice in 0..3 {
+                assert!(g.row_owner(mode, slice) < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_deterministic() {
+        let t = test_tensor();
+        let a = GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 2).unwrap();
+        let b = GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 2).unwrap();
+        for (idx, _) in t.iter() {
+            assert_eq!(a.worker_of(idx), b.worker_of(idx));
+        }
+    }
+}

@@ -1,0 +1,587 @@
+//! Sparse tensors in coordinate (COO) format, for arbitrary order.
+//!
+//! DisMASTD stores `X \ X̃` as "all the non-zero elements with the coordinate
+//! format" (Theorem 3's proof); this module is that representation.  Indices
+//! are kept in one flat `Vec<usize>` with stride `order`, so iterating the
+//! nonzeros touches two contiguous arrays — the access pattern MTTKRP needs.
+
+use crate::error::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// An `N`-th order sparse tensor in coordinate format.
+///
+/// Invariants (enforced by [`SparseTensorBuilder::build`]):
+/// * every index tuple is within `shape`;
+/// * entries are sorted lexicographically by index tuple;
+/// * index tuples are unique (duplicates are summed at build time);
+/// * no stored value is exactly `0.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseTensor {
+    shape: Vec<usize>,
+    /// Flattened index tuples, `nnz * order` long.
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseTensor {
+    /// Creates an empty tensor of the given shape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::EmptyShape`] for a zero-order shape.
+    pub fn empty(shape: Vec<usize>) -> Result<Self> {
+        if shape.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        Ok(SparseTensor {
+            shape,
+            indices: Vec::new(),
+            values: Vec::new(),
+        })
+    }
+
+    /// Tensor order `N` (number of modes).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Dimension sizes per mode.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of stored non-zero elements.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the tensor stores no nonzeros.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The index tuple of the `e`-th stored entry.
+    #[allow(clippy::should_implement_trait)] // COO entry lookup, not ops::Index
+    #[inline]
+    pub fn index(&self, e: usize) -> &[usize] {
+        let n = self.order();
+        &self.indices[e * n..(e + 1) * n]
+    }
+
+    /// The value of the `e`-th stored entry.
+    #[inline]
+    pub fn value(&self, e: usize) -> f64 {
+        self.values[e]
+    }
+
+    /// Iterates `(index_tuple, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[usize], f64)> + '_ {
+        let n = self.order();
+        self.indices
+            .chunks_exact(n)
+            .zip(self.values.iter().copied())
+    }
+
+    /// Raw flattened index buffer (stride = `order`).
+    #[inline]
+    pub fn indices_flat(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Raw value buffer.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Looks up the value at `idx`, returning `0.0` for structural zeros.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::IndexOutOfBounds`] if `idx` exceeds the shape.
+    pub fn get(&self, idx: &[usize]) -> Result<f64> {
+        self.check_index(idx)?;
+        let n = self.order();
+        let found = binary_search_tuples(&self.indices, n, idx);
+        Ok(match found {
+            Ok(e) => self.values[e],
+            Err(_) => 0.0,
+        })
+    }
+
+    /// Squared Frobenius norm — sum of squares of the stored values.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Histogram of nonzeros per slice along `mode`
+    /// (`a_i^(n) = nnz(X[.., i, ..])` in Algorithms 2-3).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidMode`] for an out-of-range mode.
+    pub fn slice_nnz(&self, mode: usize) -> Result<Vec<u64>> {
+        if mode >= self.order() {
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
+        }
+        let mut hist = vec![0u64; self.shape[mode]];
+        let n = self.order();
+        for tuple in self.indices.chunks_exact(n) {
+            hist[tuple[mode]] += 1;
+        }
+        Ok(hist)
+    }
+
+    /// Block signature of an index tuple relative to an old bounding box:
+    /// bit `k` is set iff `idx[k] >= old_shape[k]` (the `(s_1,…,s_N)` tuple of
+    /// the paper's sub-tensor division, packed as a bitmask).
+    pub fn block_of(idx: &[usize], old_shape: &[usize]) -> usize {
+        idx.iter()
+            .zip(old_shape)
+            .enumerate()
+            .fold(0usize, |acc, (k, (&i, &old))| {
+                if i >= old {
+                    acc | (1 << k)
+                } else {
+                    acc
+                }
+            })
+    }
+
+    /// Splits this tensor into `(inside, complement)` relative to an old
+    /// snapshot's shape: `inside = X^{0…0}` (all indices within `old_shape`)
+    /// and `complement = X \ X̃` (everything else).
+    ///
+    /// # Errors
+    /// Returns an error if `old_shape` has a different order or exceeds the
+    /// current shape in any mode.
+    pub fn split_at(&self, old_shape: &[usize]) -> Result<(SparseTensor, SparseTensor)> {
+        if old_shape.len() != self.order() {
+            return Err(TensorError::ShapeMismatch {
+                op: "split_at",
+                left: self.shape.clone(),
+                right: old_shape.to_vec(),
+            });
+        }
+        if old_shape.iter().zip(&self.shape).any(|(o, s)| o > s) {
+            return Err(TensorError::InvalidArgument(format!(
+                "old shape {old_shape:?} exceeds current shape {:?}",
+                self.shape
+            )));
+        }
+        let n = self.order();
+        let mut inside = SparseTensor::empty(old_shape.to_vec())?;
+        let mut outside = SparseTensor::empty(self.shape.clone())?;
+        for (tuple, v) in self.iter() {
+            if Self::block_of(tuple, old_shape) == 0 {
+                inside.indices.extend_from_slice(tuple);
+                inside.values.push(v);
+            } else {
+                outside.indices.extend_from_slice(tuple);
+                outside.values.push(v);
+            }
+        }
+        let _ = n;
+        Ok((inside, outside))
+    }
+
+    /// Returns the sub-tensor of entries whose every index is `< bounds[k]`,
+    /// reshaped to `bounds` — i.e. the old snapshot `X̃ = X^{0,…,0}`.
+    pub fn restrict(&self, bounds: &[usize]) -> Result<SparseTensor> {
+        Ok(self.split_at(bounds)?.0)
+    }
+
+    /// Relative complement `X \ X̃` for a previous snapshot shape.
+    pub fn complement(&self, old_shape: &[usize]) -> Result<SparseTensor> {
+        Ok(self.split_at(old_shape)?.1)
+    }
+
+    /// Decomposes the tensor into the `2^N` sub-tensors of the paper's
+    /// Fig. 2: each entry is classified by its block signature
+    /// `(s_1,…,s_N)` (bit `k` set iff `idx[k] >= old_shape[k]`), packed as
+    /// a bitmask.  Returns one `(signature, sub-tensor)` pair per
+    /// **non-empty** block, in ascending signature order; every sub-tensor
+    /// keeps this tensor's shape and global coordinates.
+    ///
+    /// Block `0` is the old snapshot `X^{0…0}`; the rest union to the
+    /// relative complement `X \ X̃`.
+    ///
+    /// # Errors
+    /// Returns an error if `old_shape` has the wrong order, exceeds the
+    /// current shape, or the order exceeds the bitmask width.
+    pub fn split_blocks(&self, old_shape: &[usize]) -> Result<Vec<(usize, SparseTensor)>> {
+        if old_shape.len() != self.order() {
+            return Err(TensorError::ShapeMismatch {
+                op: "split_blocks",
+                left: self.shape.clone(),
+                right: old_shape.to_vec(),
+            });
+        }
+        if old_shape.iter().zip(&self.shape).any(|(o, s)| o > s) {
+            return Err(TensorError::InvalidArgument(format!(
+                "old shape {old_shape:?} exceeds current shape {:?}",
+                self.shape
+            )));
+        }
+        if self.order() >= usize::BITS as usize {
+            return Err(TensorError::InvalidArgument(
+                "tensor order exceeds block-signature width".into(),
+            ));
+        }
+        let mut blocks: std::collections::BTreeMap<usize, SparseTensor> =
+            std::collections::BTreeMap::new();
+        for (tuple, v) in self.iter() {
+            let sig = Self::block_of(tuple, old_shape);
+            let entry = blocks.entry(sig).or_insert_with(|| SparseTensor {
+                shape: self.shape.clone(),
+                indices: Vec::new(),
+                values: Vec::new(),
+            });
+            entry.indices.extend_from_slice(tuple);
+            entry.values.push(v);
+        }
+        Ok(blocks.into_iter().collect())
+    }
+
+    /// Sum of all values (useful for sanity checks and tests).
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    fn check_index(&self, idx: &[usize]) -> Result<()> {
+        if idx.len() != self.order() || idx.iter().zip(&self.shape).any(|(i, s)| i >= s) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: idx.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Binary search over flattened index tuples, comparing lexicographically.
+fn binary_search_tuples(flat: &[usize], stride: usize, needle: &[usize]) ->
+    std::result::Result<usize, usize> {
+    let len = flat.len() / stride.max(1);
+    let mut lo = 0usize;
+    let mut hi = len;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let tuple = &flat[mid * stride..(mid + 1) * stride];
+        match tuple.cmp(needle) {
+            Ordering::Less => lo = mid + 1,
+            Ordering::Greater => hi = mid,
+            Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Incremental constructor for [`SparseTensor`].
+///
+/// Accepts entries in any order; `build` sorts, merges duplicates (by
+/// summation, the usual COO semantics) and drops entries that cancel to zero.
+///
+/// ```
+/// use dismastd_tensor::SparseTensorBuilder;
+/// let mut b = SparseTensorBuilder::new(vec![4, 4, 4]);
+/// b.push(&[3, 0, 1], 2.5).unwrap();
+/// b.push(&[0, 1, 2], 1.0).unwrap();
+/// b.push(&[3, 0, 1], 0.5).unwrap(); // merges with the first entry
+/// let t = b.build().unwrap();
+/// assert_eq!(t.nnz(), 2);
+/// assert_eq!(t.get(&[3, 0, 1]).unwrap(), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseTensorBuilder {
+    shape: Vec<usize>,
+    entries: Vec<(Vec<usize>, f64)>,
+}
+
+impl SparseTensorBuilder {
+    /// Starts a builder for the given shape.
+    pub fn new(shape: Vec<usize>) -> Self {
+        SparseTensorBuilder {
+            shape,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates space for `n` entries.
+    pub fn with_capacity(shape: Vec<usize>, n: usize) -> Self {
+        SparseTensorBuilder {
+            shape,
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Queues one entry.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::IndexOutOfBounds`] for indices outside the shape.
+    pub fn push(&mut self, idx: &[usize], value: f64) -> Result<&mut Self> {
+        if idx.len() != self.shape.len() || idx.iter().zip(&self.shape).any(|(i, s)| i >= s) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: idx.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        self.entries.push((idx.to_vec(), value));
+        Ok(self)
+    }
+
+    /// Number of queued (pre-merge) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finalises the tensor: sorts, merges duplicates, drops zeros.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::EmptyShape`] for a zero-order shape.
+    pub fn build(mut self) -> Result<SparseTensor> {
+        if self.shape.is_empty() {
+            return Err(TensorError::EmptyShape);
+        }
+        self.entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let order = self.shape.len();
+        let mut indices = Vec::with_capacity(self.entries.len() * order);
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+        let mut last: Option<&[usize]> = None;
+        // Track tuple starts so merged entries can be dropped if they cancel.
+        let mut tuple_of_last: Vec<usize> = Vec::new();
+        for (idx, v) in &self.entries {
+            if last == Some(idx.as_slice()) {
+                *values.last_mut().expect("entry exists when last is set") += v;
+            } else {
+                indices.extend_from_slice(idx);
+                values.push(*v);
+                tuple_of_last.clear();
+                tuple_of_last.extend_from_slice(idx);
+                last = Some(idx.as_slice());
+            }
+        }
+        // Compact out exact zeros (cancellation or explicit zero pushes).
+        let mut out_indices = Vec::with_capacity(indices.len());
+        let mut out_values = Vec::with_capacity(values.len());
+        for (e, &v) in values.iter().enumerate() {
+            if v != 0.0 {
+                out_indices.extend_from_slice(&indices[e * order..(e + 1) * order]);
+                out_values.push(v);
+            }
+        }
+        Ok(SparseTensor {
+            shape: self.shape,
+            indices: out_indices,
+            values: out_values,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SparseTensor {
+        let mut b = SparseTensorBuilder::new(vec![2, 3, 4]);
+        b.push(&[0, 0, 0], 1.0).unwrap();
+        b.push(&[1, 2, 3], 2.0).unwrap();
+        b.push(&[0, 1, 2], -3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_sorts_and_stores() {
+        let t = small();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.index(0), &[0, 0, 0]);
+        assert_eq!(t.index(1), &[0, 1, 2]);
+        assert_eq!(t.index(2), &[1, 2, 3]);
+        assert_eq!(t.value(1), -3.0);
+    }
+
+    #[test]
+    fn builder_merges_duplicates_and_drops_zero() {
+        let mut b = SparseTensorBuilder::new(vec![2, 2]);
+        b.push(&[0, 0], 1.5).unwrap();
+        b.push(&[0, 0], 0.5).unwrap();
+        b.push(&[1, 1], 2.0).unwrap();
+        b.push(&[1, 1], -2.0).unwrap(); // cancels out
+        b.push(&[0, 1], 0.0).unwrap(); // explicit zero dropped
+        let t = b.build().unwrap();
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 2.0);
+        assert_eq!(t.get(&[1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_bounds() {
+        let mut b = SparseTensorBuilder::new(vec![2, 2]);
+        assert!(b.push(&[2, 0], 1.0).is_err());
+        assert!(b.push(&[0], 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_shape_rejected() {
+        assert!(SparseTensor::empty(vec![]).is_err());
+        assert!(SparseTensorBuilder::new(vec![]).build().is_err());
+    }
+
+    #[test]
+    fn get_structural_zero_and_oob() {
+        let t = small();
+        assert_eq!(t.get(&[1, 0, 0]).unwrap(), 0.0);
+        assert_eq!(t.get(&[1, 2, 3]).unwrap(), 2.0);
+        assert!(t.get(&[2, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn slice_nnz_histograms() {
+        let t = small();
+        assert_eq!(t.slice_nnz(0).unwrap(), vec![2, 1]);
+        assert_eq!(t.slice_nnz(1).unwrap(), vec![1, 1, 1]);
+        assert_eq!(t.slice_nnz(2).unwrap(), vec![1, 0, 1, 1]);
+        assert!(t.slice_nnz(3).is_err());
+    }
+
+    #[test]
+    fn norm_and_sums() {
+        let t = small();
+        assert_eq!(t.norm_sq(), 1.0 + 4.0 + 9.0);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn block_signature() {
+        let old = [2, 2, 2];
+        assert_eq!(SparseTensor::block_of(&[0, 1, 0], &old), 0b000);
+        assert_eq!(SparseTensor::block_of(&[2, 1, 0], &old), 0b001);
+        assert_eq!(SparseTensor::block_of(&[0, 3, 0], &old), 0b010);
+        assert_eq!(SparseTensor::block_of(&[2, 3, 5], &old), 0b111);
+    }
+
+    #[test]
+    fn split_at_partitions_entries() {
+        let t = small(); // shape [2,3,4]
+        let (inside, outside) = t.split_at(&[1, 2, 3]).unwrap();
+        // [0,0,0] is inside; [0,1,2] inside; [1,2,3] outside.
+        assert_eq!(inside.nnz(), 2);
+        assert_eq!(inside.shape(), &[1, 2, 3]);
+        assert_eq!(outside.nnz(), 1);
+        assert_eq!(outside.shape(), &[2, 3, 4]);
+        assert_eq!(outside.index(0), &[1, 2, 3]);
+        // Conservation of nnz.
+        assert_eq!(inside.nnz() + outside.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn split_at_validates_shapes() {
+        let t = small();
+        assert!(t.split_at(&[1, 2]).is_err());
+        assert!(t.split_at(&[3, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn restrict_and_complement_are_split_halves() {
+        let t = small();
+        let old = [2, 3, 3];
+        let r = t.restrict(&old).unwrap();
+        let c = t.complement(&old).unwrap();
+        assert_eq!(r.nnz() + c.nnz(), t.nnz());
+        for (idx, _) in r.iter() {
+            assert_eq!(SparseTensor::block_of(idx, &old), 0);
+        }
+        for (idx, _) in c.iter() {
+            assert_ne!(SparseTensor::block_of(idx, &old), 0);
+        }
+    }
+
+    #[test]
+    fn split_blocks_partitions_by_signature() {
+        let t = small(); // shape [2,3,4]; entries [0,0,0], [0,1,2], [1,2,3]
+        let old = [1usize, 2, 3];
+        let blocks = t.split_blocks(&old).unwrap();
+        // [0,0,0] → 0b000; [0,1,2] → 0b000; [1,2,3] → 0b111.
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].0, 0);
+        assert_eq!(blocks[0].1.nnz(), 2);
+        assert_eq!(blocks[1].0, 0b111);
+        assert_eq!(blocks[1].1.nnz(), 1);
+        // Blocks conserve nnz and norm.
+        let total_nnz: usize = blocks.iter().map(|(_, b)| b.nnz()).sum();
+        assert_eq!(total_nnz, t.nnz());
+        let total_norm: f64 = blocks.iter().map(|(_, b)| b.norm_sq()).sum();
+        assert!((total_norm - t.norm_sq()).abs() < 1e-12);
+        // Non-zero blocks union to the complement.
+        let complement = t.complement(&old).unwrap();
+        let outside_nnz: usize = blocks
+            .iter()
+            .filter(|(sig, _)| *sig != 0)
+            .map(|(_, b)| b.nnz())
+            .sum();
+        assert_eq!(outside_nnz, complement.nnz());
+    }
+
+    #[test]
+    fn split_blocks_signatures_match_block_of() {
+        let t = small();
+        let old = [2usize, 2, 2];
+        for (sig, block) in t.split_blocks(&old).unwrap() {
+            for (idx, _) in block.iter() {
+                assert_eq!(SparseTensor::block_of(idx, &old), sig);
+            }
+        }
+    }
+
+    #[test]
+    fn split_blocks_validates() {
+        let t = small();
+        assert!(t.split_blocks(&[1, 2]).is_err());
+        assert!(t.split_blocks(&[9, 2, 2]).is_err());
+        // Empty tensor: no blocks at all.
+        let e = SparseTensor::empty(vec![2, 2]).unwrap();
+        assert!(e.split_blocks(&[1, 1]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn iter_matches_accessors() {
+        let t = small();
+        let collected: Vec<(Vec<usize>, f64)> =
+            t.iter().map(|(i, v)| (i.to_vec(), v)).collect();
+        assert_eq!(collected.len(), t.nnz());
+        for (e, (idx, v)) in collected.iter().enumerate() {
+            assert_eq!(idx.as_slice(), t.index(e));
+            assert_eq!(*v, t.value(e));
+        }
+    }
+
+    #[test]
+    fn empty_tensor_operations() {
+        let t = SparseTensor::empty(vec![3, 3]).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.norm_sq(), 0.0);
+        assert_eq!(t.slice_nnz(0).unwrap(), vec![0, 0, 0]);
+        let (a, b) = t.split_at(&[2, 2]).unwrap();
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn binary_search_is_correct_on_sorted_tuples() {
+        let t = small();
+        for e in 0..t.nnz() {
+            let idx = t.index(e).to_vec();
+            assert_eq!(t.get(&idx).unwrap(), t.value(e));
+        }
+    }
+}

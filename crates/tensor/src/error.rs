@@ -1,0 +1,126 @@
+//! Error types for the tensor substrate.
+
+use std::fmt;
+
+/// Errors produced by tensor and linear-algebra operations.
+///
+/// All fallible operations in this crate return [`Result<T, TensorError>`];
+/// the variants carry enough context to diagnose the failing call without a
+/// backtrace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes (e.g. mat-mul inner dimensions).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        left: Vec<usize>,
+        /// Shape of the right/second operand.
+        right: Vec<usize>,
+    },
+    /// An index was out of bounds for the given shape.
+    IndexOutOfBounds {
+        /// The offending index tuple.
+        index: Vec<usize>,
+        /// The shape it was checked against.
+        shape: Vec<usize>,
+    },
+    /// A mode argument exceeded the tensor order.
+    InvalidMode {
+        /// The requested mode.
+        mode: usize,
+        /// The tensor order.
+        order: usize,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Observed number of rows.
+        rows: usize,
+        /// Observed number of columns.
+        cols: usize,
+    },
+    /// A linear system could not be solved (singular / not positive definite
+    /// even after ridge regularisation).
+    Singular {
+        /// Description of the solver that gave up.
+        solver: &'static str,
+    },
+    /// A tensor was constructed with an empty shape or a zero-length mode
+    /// where that is not permitted.
+    EmptyShape,
+    /// Generic invalid-argument error.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, left, right } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidMode { mode, order } => {
+                write!(f, "mode {mode} invalid for order-{order} tensor")
+            }
+            TensorError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            TensorError::Singular { solver } => {
+                write!(f, "{solver}: matrix is singular or not positive definite")
+            }
+            TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants: Vec<TensorError> = vec![
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                left: vec![2, 3],
+                right: vec![4, 5],
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![9],
+                shape: vec![3],
+            },
+            TensorError::InvalidMode { mode: 3, order: 3 },
+            TensorError::NotSquare { rows: 2, cols: 3 },
+            TensorError::Singular { solver: "cholesky" },
+            TensorError::EmptyShape,
+            TensorError::InvalidArgument("nope".into()),
+        ];
+        for v in variants {
+            // Every variant must render something non-empty and not panic.
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TensorError::EmptyShape);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TensorError::EmptyShape, TensorError::EmptyShape);
+        assert_ne!(
+            TensorError::EmptyShape,
+            TensorError::InvalidMode { mode: 0, order: 0 }
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! Small dense solvers for the `R x R` normal-equation systems.
+//!
+//! Every ALS/DTD factor update solves `A_n · D = N` for `A_n`, where `D` is
+//! an `R x R` Hadamard product of Gram matrices — symmetric and (generically)
+//! positive definite, with `R` small (the paper uses `R = 10`).  Cholesky is
+//! the right tool; we fall back to partially pivoted LU and, as a last
+//! resort, to ridge regularisation, mirroring what practical CP solvers
+//! (SPLATT, Tensor Toolbox) do when factors become collinear.
+
+use crate::error::{Result, TensorError};
+use crate::matrix::Matrix;
+
+/// Cholesky factorisation `M = L Lᵀ` of a symmetric positive definite matrix.
+///
+/// Returns the lower-triangular factor `L`, or an error when a non-positive
+/// pivot is encountered (matrix not SPD).
+pub fn cholesky(m: &Matrix) -> Result<Matrix> {
+    let n = require_square(m)?;
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = m.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(TensorError::Singular { solver: "cholesky" });
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` for lower-triangular `L` (forward substitution), in place.
+fn forward_sub(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * b[k];
+        }
+        b[i] = sum / l.get(i, i);
+    }
+}
+
+/// Solves `Lᵀ x = y` for lower-triangular `L` (backward substitution), in place.
+fn backward_sub_transposed(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in i + 1..n {
+            sum -= l.get(k, i) * b[k];
+        }
+        b[i] = sum / l.get(i, i);
+    }
+}
+
+/// LU factorisation with partial pivoting.
+///
+/// Returns `(lu, perm)` where `lu` packs `L` (unit diagonal, below) and `U`
+/// (on and above the diagonal) and `perm` is the row permutation.
+pub fn lu_decompose(m: &Matrix) -> Result<(Matrix, Vec<usize>)> {
+    let n = require_square(m)?;
+    let mut lu = m.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Partial pivoting: pick the largest remaining entry in this column.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, lu.get(r, col).abs()))
+            .fold((col, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+        if pivot_val < 1e-300 || !pivot_val.is_finite() {
+            return Err(TensorError::Singular { solver: "lu" });
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let a = lu.get(col, j);
+                let b = lu.get(pivot_row, j);
+                lu.set(col, j, b);
+                lu.set(pivot_row, j, a);
+            }
+            perm.swap(col, pivot_row);
+        }
+        let inv_pivot = 1.0 / lu.get(col, col);
+        for r in col + 1..n {
+            let factor = lu.get(r, col) * inv_pivot;
+            lu.set(r, col, factor);
+            for j in col + 1..n {
+                let v = lu.get(r, j) - factor * lu.get(col, j);
+                lu.set(r, j, v);
+            }
+        }
+    }
+    Ok((lu, perm))
+}
+
+/// Solves `M x = b` given a packed LU factorisation from [`lu_decompose`].
+pub fn lu_solve(lu: &Matrix, perm: &[usize], b: &[f64]) -> Vec<f64> {
+    let n = lu.rows();
+    debug_assert_eq!(b.len(), n);
+    let mut x: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    // Forward: L y = Pb (unit diagonal).
+    for i in 0..n {
+        let mut sum = x[i];
+        for k in 0..i {
+            sum -= lu.get(i, k) * x[k];
+        }
+        x[i] = sum;
+    }
+    // Backward: U x = y.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for k in i + 1..n {
+            sum -= lu.get(i, k) * x[k];
+        }
+        x[i] = sum / lu.get(i, i);
+    }
+    x
+}
+
+/// Pre-factorised symmetric system used to apply `·D⁻¹` to many rows.
+///
+/// The ALS update applies the same `R x R` inverse to every row of the
+/// MTTKRP result; factorising once and back-substituting per row is the
+/// `O(R³ + I R²)` decomposition the paper's complexity analysis assumes.
+pub enum Factorized {
+    /// SPD path.
+    Cholesky(Matrix),
+    /// General fallback.
+    Lu(Matrix, Vec<usize>),
+}
+
+impl Factorized {
+    /// Factorises `m`, preferring Cholesky, falling back to LU, and finally
+    /// to a ridge-regularised Cholesky (`m + eps·tr(m)/n · I`).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::Singular`] only if all three attempts fail.
+    pub fn new(m: &Matrix) -> Result<Factorized> {
+        if let Ok(l) = cholesky(m) {
+            return Ok(Factorized::Cholesky(l));
+        }
+        if let Ok((lu, perm)) = lu_decompose(m) {
+            return Ok(Factorized::Lu(lu, perm));
+        }
+        let n = require_square(m)?;
+        let trace: f64 = (0..n).map(|i| m.get(i, i)).sum();
+        let ridge = (trace.abs() / n as f64).max(1.0) * 1e-9;
+        let mut reg = m.clone();
+        for i in 0..n {
+            reg.set(i, i, reg.get(i, i) + ridge);
+        }
+        cholesky(&reg).map(Factorized::Cholesky)
+    }
+
+    /// Solves `M x = b` in place.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        match self {
+            Factorized::Cholesky(l) => {
+                forward_sub(l, b);
+                backward_sub_transposed(l, b);
+            }
+            Factorized::Lu(lu, perm) => {
+                let x = lu_solve(lu, perm, b);
+                b.copy_from_slice(&x);
+            }
+        }
+    }
+
+    /// Dimension of the factorised system.
+    pub fn dim(&self) -> usize {
+        match self {
+            Factorized::Cholesky(l) => l.rows(),
+            Factorized::Lu(lu, _) => lu.rows(),
+        }
+    }
+}
+
+/// Solves `X · M = B` row-wise for symmetric `M` (the ALS "division").
+///
+/// Because `M` is symmetric, `X M = B  ⇔  M Xᵀ = Bᵀ`, i.e. each row of `X`
+/// solves `M x = b` with `b` the matching row of `B`.
+///
+/// # Errors
+/// Propagates factorisation failure, or a shape mismatch when
+/// `B.cols() != M.rows()`.
+pub fn solve_right(b: &Matrix, m: &Matrix) -> Result<Matrix> {
+    if b.cols() != m.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "solve_right",
+            left: vec![b.rows(), b.cols()],
+            right: vec![m.rows(), m.cols()],
+        });
+    }
+    let fact = Factorized::new(m)?;
+    let mut out = b.clone();
+    for i in 0..out.rows() {
+        fact.solve_in_place(out.row_mut(i));
+    }
+    Ok(out)
+}
+
+/// Explicit inverse of a small square matrix (used only where the paper's
+/// analysis literally inverts the denominator; prefer [`solve_right`]).
+pub fn invert(m: &Matrix) -> Result<Matrix> {
+    let n = require_square(m)?;
+    let fact = Factorized::new(m)?;
+    let mut inv = Matrix::identity(n);
+    // Solve M x = e_i column by column, writing columns of the inverse.
+    let mut col = vec![0.0; n];
+    for j in 0..n {
+        col.iter_mut().for_each(|x| *x = 0.0);
+        col[j] = 1.0;
+        fact.solve_in_place(&mut col);
+        for i in 0..n {
+            inv.set(i, j, col[i]);
+        }
+    }
+    Ok(inv)
+}
+
+fn require_square(m: &Matrix) -> Result<usize> {
+    if m.rows() != m.cols() {
+        return Err(TensorError::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    Ok(m.rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // Diagonally dominant symmetric => SPD.
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 5.0]])
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let m = spd3();
+        let l = cholesky(&m).unwrap();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(m.max_abs_diff(&rec).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            cholesky(&m),
+            Err(TensorError::Singular { solver: "cholesky" })
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        let m = Matrix::zeros(2, 3);
+        assert!(matches!(cholesky(&m), Err(TensorError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        // Asymmetric, needs pivoting (zero leading pivot).
+        let m = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 1.0, 1.0], &[2.0, 0.0, 3.0]]);
+        let (lu, perm) = lu_decompose(&m).unwrap();
+        let x = lu_solve(&lu, &perm, &[5.0, 6.0, 13.0]);
+        // Verify M x = b.
+        for (i, &bi) in [5.0, 6.0, 13.0].iter().enumerate() {
+            let got: f64 = (0..3).map(|j| m.get(i, j) * x[j]).sum();
+            assert!((got - bi).abs() < 1e-10, "row {i}: {got} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(lu_decompose(&m).is_err());
+    }
+
+    #[test]
+    fn factorized_prefers_cholesky_then_lu() {
+        assert!(matches!(
+            Factorized::new(&spd3()).unwrap(),
+            Factorized::Cholesky(_)
+        ));
+        let indefinite = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            Factorized::new(&indefinite).unwrap(),
+            Factorized::Lu(..)
+        ));
+    }
+
+    #[test]
+    fn factorized_ridge_fallback_on_singular_spd_like() {
+        // Positive semidefinite rank-1 matrix: Cholesky fails, LU fails,
+        // ridge succeeds and gives a usable (approximate) solve.
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let f = Factorized::new(&m).unwrap();
+        assert_eq!(f.dim(), 2);
+        let mut b = vec![2.0, 2.0];
+        f.solve_in_place(&mut b);
+        // Solution of the regularised system stays finite.
+        assert!(b.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn solve_right_matches_explicit_inverse() {
+        let m = spd3();
+        let b = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 1.0, 0.0]]);
+        let x = solve_right(&b, &m).unwrap();
+        let x_ref = b.matmul(&invert(&m).unwrap()).unwrap();
+        assert!(x.max_abs_diff(&x_ref).unwrap() < 1e-10);
+        // And X * M == B.
+        let back = x.matmul(&m).unwrap();
+        assert!(back.max_abs_diff(&b).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn solve_right_shape_check() {
+        let m = spd3();
+        let b = Matrix::zeros(2, 2);
+        assert!(solve_right(&b, &m).is_err());
+    }
+
+    #[test]
+    fn invert_times_original_is_identity() {
+        let m = spd3();
+        let inv = invert(&m).unwrap();
+        let prod = m.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn invert_1x1() {
+        let m = Matrix::from_rows(&[&[4.0]]);
+        let inv = invert(&m).unwrap();
+        assert!((inv.get(0, 0) - 0.25).abs() < 1e-15);
+    }
+}
