@@ -2,12 +2,14 @@
 //! as "the bottleneck cost of tensor decomposition" (Sec. I).
 //!
 //! Sweeps nonzero count and rank to confirm the `O(nnz · N · R)` cost of
-//! Theorem 2's dominant term.
+//! Theorem 2's dominant term, and pits the naive COO kernel against the
+//! cached mode-ordered layout (`MttkrpPlan`) on a skewed Zipf tensor — the
+//! access pattern the layout exists for.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dismastd_data::uniform_tensor;
-use dismastd_tensor::mttkrp::mttkrp;
-use dismastd_tensor::Matrix;
+use dismastd_data::{uniform_tensor, zipf_tensor};
+use dismastd_tensor::mttkrp::{mttkrp, mttkrp_into};
+use dismastd_tensor::{Matrix, MttkrpPlan};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -63,5 +65,52 @@ fn bench_mttkrp_order(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mttkrp_nnz, bench_mttkrp_rank, bench_mttkrp_order);
+/// Naive COO kernel vs the cached mode-ordered layout at matched nnz and
+/// rank, on the Zipf dataset (skewed slices make the naive kernel's output
+/// writes collide on hot rows — the layout's best and most realistic
+/// case).  Mode 1 is benchmarked: mode 0 shares the naive kernel's
+/// iteration order, so any higher mode shows the layout effect.
+fn bench_naive_vs_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp/layout");
+    let shape = [400usize, 300, 200];
+    let nnz = 80_000;
+    let rank = 10;
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let t = zipf_tensor(&shape, nnz, &[1.1, 1.1, 1.1], &mut rng).expect("feasible");
+    let factors: Vec<Matrix> = shape
+        .iter()
+        .map(|&s| Matrix::random(s, rank, &mut rng))
+        .collect();
+    let plan = MttkrpPlan::build(&t);
+    let mut out = Matrix::zeros(shape[1], rank);
+    group.throughput(Throughput::Elements(t.nnz() as u64));
+    group.bench_function(BenchmarkId::new("naive", t.nnz()), |b| {
+        b.iter(|| {
+            out.fill_zero();
+            mttkrp_into(&t, &factors, 1, &mut out).expect("runs");
+            out.get(0, 0)
+        })
+    });
+    group.bench_function(BenchmarkId::new("layout", t.nnz()), |b| {
+        b.iter(|| {
+            out.fill_zero();
+            plan.mttkrp_into(&factors, 1, &mut out).expect("runs");
+            out.get(0, 0)
+        })
+    });
+    // Amortisation context: what one layout build costs relative to the
+    // kernels it accelerates (paid once per cell per snapshot).
+    group.bench_function(BenchmarkId::new("build", t.nnz()), |b| {
+        b.iter(|| MttkrpPlan::build(&t).nnz())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mttkrp_nnz,
+    bench_mttkrp_rank,
+    bench_mttkrp_order,
+    bench_naive_vs_layout
+);
 criterion_main!(benches);

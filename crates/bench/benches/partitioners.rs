@@ -48,18 +48,11 @@ fn bench_grid_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition/grid_build");
     group.sample_size(20);
     let mut rng = ChaCha8Rng::seed_from_u64(9);
-    let t = zipf_tensor(&[2000, 1000, 400], 100_000, &[0.9, 0.9, 0.3], &mut rng)
-        .expect("feasible");
+    let t = zipf_tensor(&[2000, 1000, 400], 100_000, &[0.9, 0.9, 0.3], &mut rng).expect("feasible");
     for &workers in &[4usize, 16] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| {
-                    GridPartition::build(&t, Partitioner::Mtp, &[w; 3], w).expect("builds")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| GridPartition::build(&t, Partitioner::Mtp, &[w; 3], w).expect("builds"))
+        });
     }
     group.finish();
 }
@@ -67,8 +60,7 @@ fn bench_grid_build(c: &mut Criterion) {
 fn bench_slice_histogram(c: &mut Criterion) {
     // The O(nnz) statistics pass of the data-partitioning phase.
     let mut rng = ChaCha8Rng::seed_from_u64(10);
-    let t = zipf_tensor(&[5000, 2000, 500], 200_000, &[0.9, 0.9, 0.3], &mut rng)
-        .expect("feasible");
+    let t = zipf_tensor(&[5000, 2000, 500], 200_000, &[0.9, 0.9, 0.3], &mut rng).expect("feasible");
     c.bench_function("partition/slice_nnz", |b| {
         b.iter(|| {
             let mut acc = 0u64;

@@ -90,7 +90,11 @@ fn baseline_onlinecp(full: &SparseTensor, records: &mut Vec<ResultRecord>) {
         online.ingest_slices(&delta).expect("shapes agree");
         online_update += s.elapsed();
     }
-    let online_fit = online.kruskal().expect("valid").fit(full).expect("non-zero");
+    let online_fit = online
+        .kruskal()
+        .expect("valid")
+        .fit(full)
+        .expect("non-zero");
 
     // DTD path on the same one-mode stream.
     let start = Instant::now();
@@ -196,8 +200,7 @@ fn ablation_rank(stream: &StreamSequence, records: &mut Vec<ResultRecord>) {
             .complement(stream.snapshot(stream.len() - 2).shape())
             .expect("nested");
         let start = Instant::now();
-        let out = dismastd_core::dtd(&complement, prev.kruskal.factors(), &cfg)
-            .expect("DTD runs");
+        let out = dismastd_core::dtd(&complement, prev.kruskal.factors(), &cfg).expect("DTD runs");
         let per_iter = start.elapsed() / out.iterations.max(1) as u32;
         let fit = out
             .kruskal
@@ -253,9 +256,8 @@ fn ablation_loss_reuse(full: &SparseTensor, records: &mut Vec<ResultRecord>) {
             }
             (start.elapsed() / reps, acc)
         };
-        let (reuse_t, a) = time_of(&|| {
-            inner_from_mttkrp(&hat, &factors[t.order() - 1]).expect("shapes agree")
-        });
+        let (reuse_t, a) =
+            time_of(&|| inner_from_mttkrp(&hat, &factors[t.order() - 1]).expect("shapes agree"));
         let (fresh_t, b) = time_of(&|| kruskal.inner_sparse(&t).expect("shapes agree"));
         assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "methods disagree");
         let speedup = fresh_t.as_secs_f64() / reuse_t.as_secs_f64().max(1e-12);
@@ -282,8 +284,8 @@ fn ablation_loss_reuse(full: &SparseTensor, records: &mut Vec<ResultRecord>) {
 fn ablation_placement(stream: &StreamSequence, records: &mut Vec<ResultRecord>) {
     println!("== Ablation 4: cell placement — block grid vs scatter ==\n");
     let cfg = DecompConfig::default().with_rank(10).with_max_iters(3);
-    let prev = dismastd_core::als::cp_als(stream.snapshot(stream.len() - 2), &cfg)
-        .expect("priming ALS");
+    let prev =
+        dismastd_core::als::cp_als(stream.snapshot(stream.len() - 2), &cfg).expect("priming ALS");
     let complement = stream
         .snapshot(stream.len() - 1)
         .complement(stream.snapshot(stream.len() - 2).shape())
@@ -295,8 +297,8 @@ fn ablation_placement(stream: &StreamSequence, records: &mut Vec<ResultRecord>) 
         ("Scatter", CellAssignment::Scatter),
     ] {
         let cluster = ClusterConfig::new(workers).with_cell_assignment(assignment);
-        let out = dismastd(&complement, prev.kruskal.factors(), &cfg, &cluster)
-            .expect("distributed DTD");
+        let out =
+            dismastd(&complement, prev.kruskal.factors(), &cfg, &cluster).expect("distributed DTD");
         let grid = GridPartition::build_with(
             &complement,
             Partitioner::Mtp,

@@ -35,16 +35,14 @@ fn main() {
     let fractions = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00];
     let mut records: Vec<ResultRecord> = Vec::new();
 
-    println!("== Fig. 5: time/iteration vs stream step (scale {:.2}) ==\n", ctx.scale);
+    println!(
+        "== Fig. 5: time/iteration vs stream step (scale {:.2}) ==\n",
+        ctx.scale
+    );
     for spec in DatasetSpec::all(ctx.scale) {
         let full = spec.generate().expect("dataset generates");
         let stream = StreamSequence::cut(&full, &fractions).expect("valid schedule");
-        println!(
-            "-- {} {:?}, nnz {} --",
-            spec.name,
-            full.shape(),
-            full.nnz()
-        );
+        println!("-- {} {:?}, nnz {} --", spec.name, full.shape(), full.nnz());
 
         let mut rows: Vec<Vec<String>> = Vec::new();
         for partitioner in [Partitioner::Gtp, Partitioner::Mtp] {
@@ -54,8 +52,8 @@ fn main() {
 
             // ---- DisMASTD: DTD over the complement, warm factors ----------
             let method = format!("DisMASTD-{}", partitioner.name());
-            let prime = dismastd_core::als::cp_als(stream.snapshot(0), &cfg)
-                .expect("priming ALS runs");
+            let prime =
+                dismastd_core::als::cp_als(stream.snapshot(0), &cfg).expect("priming ALS runs");
             let mut prev = prime.kruskal;
             let mut prev_shape = stream.snapshot(0).shape().to_vec();
             for t in 1..stream.len() {
@@ -67,8 +65,7 @@ fn main() {
                 let dist = dismastd(&complement, prev.factors(), &cfg, &cluster)
                     .expect("distributed DTD runs");
                 let (max_load, _) =
-                    placement_profile(&complement, partitioner, PARTS, WORKERS)
-                        .expect("placement");
+                    placement_profile(&complement, partitioner, PARTS, WORKERS).expect("placement");
                 let profile = profile_from_run(&complement, &dist, max_load, WORKERS, PARTS);
                 let modeled = modeled_iter_time(serial_iter, &profile, &ctx.cost);
                 rows.push(vec![
@@ -102,11 +99,11 @@ fn main() {
                 let zero_old: Vec<Matrix> = (0..snap.order())
                     .map(|_| Matrix::zeros(0, cfg.rank))
                     .collect();
-                let (serial_iter, _) = measure_serial_iter(snap, &zero_old, &cfg)
-                    .expect("serial ALS runs");
+                let (serial_iter, _) =
+                    measure_serial_iter(snap, &zero_old, &cfg).expect("serial ALS runs");
                 let dist = dms_mg(snap, &cfg, &cluster).expect("distributed ALS runs");
-                let (max_load, _) = placement_profile(snap, partitioner, PARTS, WORKERS)
-                    .expect("placement");
+                let (max_load, _) =
+                    placement_profile(snap, partitioner, PARTS, WORKERS).expect("placement");
                 let profile = profile_from_run(snap, &dist, max_load, WORKERS, PARTS);
                 let modeled = modeled_iter_time(serial_iter, &profile, &ctx.cost);
                 rows.push(vec![
@@ -132,7 +129,14 @@ fn main() {
             }
         }
         print_table(
-            &["method", "step", "processed nnz", "modeled s/iter", "measured s/iter", "KB/iter"],
+            &[
+                "method",
+                "step",
+                "processed nnz",
+                "modeled s/iter",
+                "measured s/iter",
+                "KB/iter",
+            ],
             &rows,
         );
 

@@ -38,20 +38,15 @@ fn main() {
         let full = spec.generate().expect("dataset generates");
         // The 95% → 100% streaming step of Fig. 5 as the workload.
         let stream = StreamSequence::cut(&full, &[0.95, 1.0]).expect("schedule");
-        let prev = dismastd_core::als::cp_als(stream.snapshot(0), &cfg)
-            .expect("priming ALS");
+        let prev = dismastd_core::als::cp_als(stream.snapshot(0), &cfg).expect("priming ALS");
         let complement = stream
             .snapshot(1)
             .complement(stream.snapshot(0).shape())
             .expect("nested");
-        let (serial_iter, _) = measure_serial_iter(&complement, prev.kruskal.factors(), &cfg)
-            .expect("serial DTD");
+        let (serial_iter, _) =
+            measure_serial_iter(&complement, prev.kruskal.factors(), &cfg).expect("serial DTD");
 
-        println!(
-            "-- {} (complement nnz {}) --",
-            spec.name,
-            complement.nnz()
-        );
+        println!("-- {} (complement nnz {}) --", spec.name, complement.nnz());
         let mut rows: Vec<Vec<String>> = Vec::new();
         for partitioner in [Partitioner::Gtp, Partitioner::Mtp] {
             for &parts in &PARTS {
@@ -61,8 +56,7 @@ fn main() {
                 let dist = dismastd(&complement, prev.kruskal.factors(), &cfg, &cluster)
                     .expect("distributed DTD");
                 let (max_load, _) =
-                    placement_profile(&complement, partitioner, parts, WORKERS)
-                        .expect("placement");
+                    placement_profile(&complement, partitioner, parts, WORKERS).expect("placement");
                 let profile = profile_from_run(&complement, &dist, max_load, WORKERS, parts);
                 let modeled = modeled_iter_time(serial_iter, &profile, &ctx.cost);
                 let method = format!("DisMASTD-{}", partitioner.name());
@@ -81,13 +75,22 @@ fn main() {
                     value: modeled.as_secs_f64(),
                     extra: BTreeMap::from([
                         ("measured_iter_s".into(), dist.time_per_iter().as_secs_f64()),
-                        ("max_load_frac".into(), max_load as f64 / complement.nnz().max(1) as f64),
+                        (
+                            "max_load_frac".into(),
+                            max_load as f64 / complement.nnz().max(1) as f64,
+                        ),
                     ]),
                 });
             }
         }
         print_table(
-            &["method", "parts/mode", "modeled s/iter", "measured s/iter", "max-load frac"],
+            &[
+                "method",
+                "parts/mode",
+                "modeled s/iter",
+                "measured s/iter",
+                "max-load frac",
+            ],
             &rows,
         );
 

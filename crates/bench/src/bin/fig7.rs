@@ -34,14 +34,13 @@ fn main() {
     for spec in DatasetSpec::all(ctx.scale) {
         let full = spec.generate().expect("dataset generates");
         let stream = StreamSequence::cut(&full, &[0.95, 1.0]).expect("schedule");
-        let prev = dismastd_core::als::cp_als(stream.snapshot(0), &cfg)
-            .expect("priming ALS");
+        let prev = dismastd_core::als::cp_als(stream.snapshot(0), &cfg).expect("priming ALS");
         let complement = stream
             .snapshot(1)
             .complement(stream.snapshot(0).shape())
             .expect("nested");
-        let (serial_iter, _) = measure_serial_iter(&complement, prev.kruskal.factors(), &cfg)
-            .expect("serial DTD");
+        let (serial_iter, _) =
+            measure_serial_iter(&complement, prev.kruskal.factors(), &cfg).expect("serial DTD");
 
         println!("-- {} (complement nnz {}) --", spec.name, complement.nnz());
         let mut rows: Vec<Vec<String>> = Vec::new();
@@ -53,8 +52,8 @@ fn main() {
                     .with_parts_per_mode(vec![nodes; full.order()]);
                 let dist = dismastd(&complement, prev.kruskal.factors(), &cfg, &cluster)
                     .expect("distributed DTD");
-                let (max_load, _) = placement_profile(&complement, partitioner, nodes, nodes)
-                    .expect("placement");
+                let (max_load, _) =
+                    placement_profile(&complement, partitioner, nodes, nodes).expect("placement");
                 let profile = profile_from_run(&complement, &dist, max_load, nodes, nodes);
                 let modeled = modeled_iter_time(serial_iter, &profile, &ctx.cost);
                 let method = format!("DisMASTD-{}", partitioner.name());

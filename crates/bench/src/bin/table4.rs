@@ -32,8 +32,14 @@ fn main() {
     for spec in DatasetSpec::all(ctx.scale) {
         let t = spec.generate().expect("dataset generates");
         for (name, algo) in [
-            ("GTP", gtp as fn(&[u64], usize) -> dismastd_partition::ModePartition),
-            ("MTP", mtp as fn(&[u64], usize) -> dismastd_partition::ModePartition),
+            (
+                "GTP",
+                gtp as fn(&[u64], usize) -> dismastd_partition::ModePartition,
+            ),
+            (
+                "MTP",
+                mtp as fn(&[u64], usize) -> dismastd_partition::ModePartition,
+            ),
         ] {
             let mut row = vec![spec.name.clone(), name.to_string()];
             for &p in &PARTS {
@@ -59,10 +65,7 @@ fn main() {
             rows.push(row);
         }
     }
-    print_table(
-        &["dataset", "p", "8", "15", "23", "30", "38"],
-        &rows,
-    );
+    print_table(&["dataset", "p", "8", "15", "23", "30", "38"], &rows);
 
     // Shape check mirrored from the paper's discussion.
     println!();

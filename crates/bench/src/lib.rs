@@ -98,9 +98,7 @@ pub fn modeled_iter_time(
         serial_iter.mul_f64(profile.max_worker_load as f64 / profile.nnz as f64)
     };
     let waves: u64 = (0..profile.order)
-        .map(|_| {
-            (profile.parts_per_mode as u64).div_ceil(profile.workers as u64) * STAGES_PER_MODE
-        })
+        .map(|_| (profile.parts_per_mode as u64).div_ceil(profile.workers as u64) * STAGES_PER_MODE)
         .sum();
     cost.phase_time(
         compute,

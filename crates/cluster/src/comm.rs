@@ -126,6 +126,87 @@ impl CommStats {
     }
 }
 
+/// Recycles `Vec<f64>` payload capacity across messages on one worker.
+///
+/// The distributed hot loop packs factor rows into a fresh `Vec<f64>` for
+/// every (destination, mode, iteration) triple and drops the received
+/// vector right after unpacking — per step that is thousands of
+/// allocations whose sizes repeat exactly.  The pool keeps returned
+/// buffers and hands them back cleared, so steady-state iterations run
+/// allocation-free on the payload path.
+///
+/// Pooling is invisible to [`CommStats`]: byte accounting uses
+/// [`Payload::size_bytes`], which reads the *length*, never the capacity,
+/// so recycled buffers produce bit-identical traffic totals.  The
+/// `buffer_pool_is_invisible_to_comm_accounting` test in `dismastd-core`
+/// pins that invariant end-to-end.
+///
+/// Not thread-safe by design: each worker owns one pool, matching the
+/// share-nothing SPMD layout.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<Vec<f64>>,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+    /// Retention cap; buffers returned beyond this are simply dropped.
+    max_retained: usize,
+}
+
+impl BufferPool {
+    /// Buffers retained at most per pool (more than the hot loop's
+    /// destinations-per-exchange on any realistic worker grid).
+    const DEFAULT_MAX_RETAINED: usize = 64;
+
+    /// Fresh pool; when `enabled` is false every `take` allocates and
+    /// every `put` drops, giving an exact no-pooling baseline.
+    pub fn new(enabled: bool) -> Self {
+        BufferPool {
+            free: Vec::new(),
+            enabled,
+            hits: 0,
+            misses: 0,
+            max_retained: Self::DEFAULT_MAX_RETAINED,
+        }
+    }
+
+    /// An empty `Vec<f64>`, recycled when one is available.
+    pub fn take(&mut self) -> Vec<f64> {
+        if self.enabled {
+            if let Some(mut buf) = self.free.pop() {
+                buf.clear();
+                self.hits += 1;
+                return buf;
+            }
+        }
+        self.misses += 1;
+        Vec::new()
+    }
+
+    /// Returns a buffer's capacity to the pool (drops it when pooling is
+    /// off, the buffer never grew, or the pool is full).
+    pub fn put(&mut self, buf: Vec<f64>) {
+        if self.enabled && buf.capacity() > 0 && self.free.len() < self.max_retained {
+            self.free.push(buf);
+        }
+    }
+
+    /// Takes recycled (`hits`) vs freshly allocated (`misses`) counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether `take` may recycle at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
 /// Plain-data copy of [`CommStats`] counters.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CommStatsSnapshot {
@@ -162,8 +243,8 @@ impl CommStatsSnapshot {
         if self.bytes_by_sender.is_empty() {
             return 0.0;
         }
-        let mean = self.bytes_by_sender.iter().sum::<u64>() as f64
-            / self.bytes_by_sender.len() as f64;
+        let mean =
+            self.bytes_by_sender.iter().sum::<u64>() as f64 / self.bytes_by_sender.len() as f64;
         if mean == 0.0 {
             return 0.0;
         }
@@ -179,7 +260,10 @@ mod tests {
     fn payload_sizes() {
         assert_eq!(Payload::F64(vec![1.0; 10]).size_bytes(), 80);
         assert_eq!(Payload::U64(vec![1; 3]).size_bytes(), 24);
-        assert_eq!(Payload::Bytes(bytes::Bytes::from_static(b"abcd")).size_bytes(), 4);
+        assert_eq!(
+            Payload::Bytes(bytes::Bytes::from_static(b"abcd")).size_bytes(),
+            4
+        );
         assert_eq!(Payload::Empty.size_bytes(), 0);
     }
 
@@ -219,6 +303,61 @@ mod tests {
         assert_eq!(d.messages, 1);
         s.reset();
         assert_eq!(s.snapshot(), CommStatsSnapshot::default());
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let mut pool = BufferPool::new(true);
+        let mut a = pool.take();
+        assert_eq!(pool.stats(), (0, 1)); // first take allocates
+        a.extend_from_slice(&[1.0; 100]);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.take();
+        assert_eq!(pool.stats(), (1, 1));
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity must survive the round trip");
+    }
+
+    #[test]
+    fn disabled_pool_never_retains() {
+        let mut pool = BufferPool::new(false);
+        let mut a = pool.take();
+        a.extend_from_slice(&[1.0; 10]);
+        pool.put(a);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.take().capacity(), 0);
+        assert_eq!(pool.stats(), (0, 2));
+        assert!(!pool.is_enabled());
+    }
+
+    #[test]
+    fn pool_drops_beyond_retention_cap_and_empty_buffers() {
+        let mut pool = BufferPool::new(true);
+        pool.put(Vec::new()); // zero capacity: not worth keeping
+        assert_eq!(pool.idle(), 0);
+        for _ in 0..(BufferPool::DEFAULT_MAX_RETAINED + 10) {
+            pool.put(vec![0.0; 4]);
+        }
+        assert_eq!(pool.idle(), BufferPool::DEFAULT_MAX_RETAINED);
+    }
+
+    #[test]
+    fn pooled_payload_bytes_use_length_not_capacity() {
+        // The accounting invariant pooling relies on: a recycled buffer
+        // with large capacity but short contents reports only its length.
+        let mut pool = BufferPool::new(true);
+        pool.put(vec![0.0; 1000]);
+        let mut buf = pool.take();
+        buf.extend_from_slice(&[1.0, 2.0]);
+        assert!(buf.capacity() >= 1000);
+        assert_eq!(Payload::F64(buf).size_bytes(), 16);
     }
 }
 

@@ -21,7 +21,7 @@ pub mod comm;
 pub mod cost;
 pub mod runtime;
 
-pub use comm::{CommStats, CommStatsSnapshot, Payload};
+pub use comm::{BufferPool, CommStats, CommStatsSnapshot, Payload};
 pub use cost::CostModel;
 pub use runtime::{Cluster, WorkerCtx};
 

@@ -170,11 +170,7 @@ impl WorkerCtx {
             .iter()
             .position(|m| m.src == src && m.tag == tag)
         {
-            return self
-                .pending
-                .remove(pos)
-                .expect("position valid")
-                .payload;
+            return self.pending.remove(pos).expect("position valid").payload;
         }
         loop {
             let msg = self
@@ -440,10 +436,13 @@ mod tests {
         assert!(out[0].is_none());
         assert!(out[1].is_none());
         let gathered = out[2].as_ref().unwrap();
-        let vals: Vec<u64> = gathered.iter().map(|p| match p {
-            Payload::U64(v) => v[0],
-            _ => panic!("wrong payload"),
-        }).collect();
+        let vals: Vec<u64> = gathered
+            .iter()
+            .map(|p| match p {
+                Payload::U64(v) => v[0],
+                _ => panic!("wrong payload"),
+            })
+            .collect();
         assert_eq!(vals, vec![0, 10, 20]);
     }
 

@@ -50,7 +50,11 @@ mod tests {
         let out = cp_als(&x, &DecompConfig::default().with_rank(3).with_max_iters(12)).unwrap();
         assert_eq!(out.iterations, 12);
         for w in out.loss_trace.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9 * (1.0 + w[0].abs()), "{:?}", out.loss_trace);
+            assert!(
+                w[1] <= w[0] + 1e-9 * (1.0 + w[0].abs()),
+                "{:?}",
+                out.loss_trace
+            );
         }
     }
 

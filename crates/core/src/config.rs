@@ -119,10 +119,25 @@ mod tests {
     #[test]
     fn validation_rejects_bad_values() {
         assert!(DecompConfig::default().with_rank(0).validate().is_err());
-        assert!(DecompConfig::default().with_forgetting(0.0).validate().is_err());
-        assert!(DecompConfig::default().with_forgetting(1.5).validate().is_err());
-        assert!(DecompConfig::default().with_max_iters(0).validate().is_err());
-        assert!(DecompConfig::default().with_tolerance(-1.0).validate().is_err());
-        assert!(DecompConfig::default().with_forgetting(1.0).validate().is_ok());
+        assert!(DecompConfig::default()
+            .with_forgetting(0.0)
+            .validate()
+            .is_err());
+        assert!(DecompConfig::default()
+            .with_forgetting(1.5)
+            .validate()
+            .is_err());
+        assert!(DecompConfig::default()
+            .with_max_iters(0)
+            .validate()
+            .is_err());
+        assert!(DecompConfig::default()
+            .with_tolerance(-1.0)
+            .validate()
+            .is_err());
+        assert!(DecompConfig::default()
+            .with_forgetting(1.0)
+            .validate()
+            .is_ok());
     }
 }

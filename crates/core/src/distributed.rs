@@ -28,16 +28,15 @@
 use crate::config::DecompConfig;
 use crate::dtd::{converged, init_factors};
 use crate::loss::{dtd_loss, GramState, LossParts};
-use dismastd_cluster::{Cluster, CommStatsSnapshot, Payload, WorkerCtx};
+use dismastd_cluster::{BufferPool, Cluster, CommStatsSnapshot, Payload, WorkerCtx};
 use dismastd_partition::{CellAssignment, GridPartition, Partitioner};
+use dismastd_tensor::layout::{fingerprint, MttkrpPlan};
 use dismastd_tensor::linalg::Factorized;
 use dismastd_tensor::matrix::{dot, Matrix};
-use dismastd_tensor::mttkrp::mttkrp_into;
 use dismastd_tensor::ops::{grand_sum_hadamard, hadamard_skip};
-use dismastd_tensor::{
-    KruskalTensor, Result, SparseTensor, SparseTensorBuilder, TensorError,
-};
+use dismastd_tensor::{KruskalTensor, Result, SparseTensor, SparseTensorBuilder, TensorError};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -54,6 +53,11 @@ pub struct ClusterConfig {
     /// Cell→worker placement strategy (medium-grain block grid by default;
     /// `Scatter` trades locality for balance — an ablation knob).
     pub cell_assignment: CellAssignment,
+    /// Recycle per-worker message buffers across iterations (on by
+    /// default).  Pooling only reuses `Vec` capacity, so traffic counters
+    /// are bit-identical either way; the flag exists as a baseline for
+    /// benchmarks and the accounting-invariance test.
+    pub pooling: bool,
 }
 
 impl ClusterConfig {
@@ -64,12 +68,19 @@ impl ClusterConfig {
             partitioner: Partitioner::Mtp,
             parts_per_mode: None,
             cell_assignment: CellAssignment::BlockGrid,
+            pooling: true,
         }
     }
 
     /// Selects the cell→worker placement strategy.
     pub fn with_cell_assignment(mut self, a: CellAssignment) -> Self {
         self.cell_assignment = a;
+        self
+    }
+
+    /// Enables or disables message-buffer pooling.
+    pub fn with_pooling(mut self, pooling: bool) -> Self {
+        self.pooling = pooling;
         self
     }
 
@@ -123,10 +134,78 @@ impl DistOutput {
     }
 }
 
+/// Cache of compiled MTTKRP layouts keyed by grid-cell content.
+///
+/// The driver builds one [`MttkrpPlan`] per non-empty grid cell at
+/// partitioning time; the plan is then reused by every iteration and mode
+/// of the decomposition.  Holding the cache across calls (see
+/// [`dismastd_with_cache`]) extends the reuse across *stream steps*: a
+/// cell whose nonzeros did not change between snapshots hashes to the same
+/// [`fingerprint`] and keeps its layout, so only cells touched by the
+/// update are re-sorted.
+///
+/// After every build the cache drops entries whose cells are no longer
+/// present, so its size is bounded by the live cell count.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: HashMap<u64, Arc<MttkrpPlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached plans currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cells served from cache across the cache's lifetime.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cells that required a fresh layout build.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Plan for `cell`, building (and retaining) it on first sight.
+    fn get_or_build(&mut self, cell: &SparseTensor) -> (u64, Arc<MttkrpPlan>) {
+        let key = fingerprint(cell);
+        if let Some(plan) = self.entries.get(&key) {
+            self.hits += 1;
+            return (key, Arc::clone(plan));
+        }
+        self.misses += 1;
+        let plan = Arc::new(MttkrpPlan::build(cell));
+        self.entries.insert(key, Arc::clone(&plan));
+        (key, plan)
+    }
+
+    /// Evicts every entry whose key is not in `live`.
+    fn retain_live(&mut self, live: &[u64]) {
+        let live: std::collections::HashSet<u64> = live.iter().copied().collect();
+        self.entries.retain(|k, _| live.contains(k));
+    }
+}
+
 /// Per-worker placement plan, precomputed once per snapshot.
 struct WorkerPlan {
-    /// This worker's nonzeros (global coordinates).
-    local: SparseTensor,
+    /// Compiled MTTKRP layouts of this worker's grid cells; executing them
+    /// back to back accumulates exactly this worker's local partials.
+    cells: Vec<Arc<MttkrpPlan>>,
+    /// Nonzeros across this worker's cells.
+    local_nnz: usize,
     /// Rows of each mode whose factor entries this worker owns and updates.
     owned_rows: Vec<Vec<u32>>,
     /// `partial_routes[n][d]`: mode-`n` rows this worker's nonzeros
@@ -149,7 +228,24 @@ pub fn dismastd(
     cfg: &DecompConfig,
     cluster: &ClusterConfig,
 ) -> Result<DistOutput> {
-    run_distributed(complement, old_factors, cfg, cluster)
+    run_distributed(complement, old_factors, cfg, cluster, &mut PlanCache::new())
+}
+
+/// [`dismastd`] with a caller-owned [`PlanCache`], so MTTKRP layouts for
+/// unchanged grid cells survive across stream steps.  The streaming
+/// session uses this entry point; one-shot callers can stay on
+/// [`dismastd`].
+///
+/// # Errors
+/// As for [`dismastd`].
+pub fn dismastd_with_cache(
+    complement: &SparseTensor,
+    old_factors: &[Matrix],
+    cfg: &DecompConfig,
+    cluster: &ClusterConfig,
+    cache: &mut PlanCache,
+) -> Result<DistOutput> {
+    run_distributed(complement, old_factors, cfg, cluster, cache)
 }
 
 /// Runs the DMS-MG baseline: distributed static CP-ALS over the full
@@ -162,10 +258,24 @@ pub fn dms_mg(
     cfg: &DecompConfig,
     cluster: &ClusterConfig,
 ) -> Result<DistOutput> {
+    dms_mg_with_cache(full, cfg, cluster, &mut PlanCache::new())
+}
+
+/// [`dms_mg`] with a caller-owned [`PlanCache`] (see
+/// [`dismastd_with_cache`]).
+///
+/// # Errors
+/// As for [`dms_mg`].
+pub fn dms_mg_with_cache(
+    full: &SparseTensor,
+    cfg: &DecompConfig,
+    cluster: &ClusterConfig,
+    cache: &mut PlanCache,
+) -> Result<DistOutput> {
     let zero_old: Vec<Matrix> = (0..full.order())
         .map(|_| Matrix::zeros(0, cfg.rank))
         .collect();
-    run_distributed(full, &zero_old, cfg, cluster)
+    run_distributed(full, &zero_old, cfg, cluster, cache)
 }
 
 fn run_distributed(
@@ -173,6 +283,7 @@ fn run_distributed(
     old_factors: &[Matrix],
     cfg: &DecompConfig,
     cluster: &ClusterConfig,
+    cache: &mut PlanCache,
 ) -> Result<DistOutput> {
     cfg.validate().map_err(TensorError::InvalidArgument)?;
     if cluster.workers == 0 {
@@ -195,7 +306,7 @@ fn run_distributed(
         world,
         cluster.cell_assignment,
     )?;
-    let plans = Arc::new(build_plans(tensor, &grid, world)?);
+    let plans = Arc::new(build_plans(tensor, &grid, world, cache)?);
 
     // Shared read-only inputs.
     let init = Arc::new(init_factors(old_factors, tensor.shape(), rank, cfg.seed)?);
@@ -213,6 +324,7 @@ fn run_distributed(
 
     // ---- Distributed tensor decomposition (Sec. IV-B) -------------------
     let cfg = *cfg;
+    let pooling = cluster.pooling;
     let old_rows_arc = Arc::new(old_rows.clone());
     let (mut results, comm) = Cluster::run_with_stats(world, |ctx| {
         worker_body(
@@ -224,6 +336,7 @@ fn run_distributed(
             &cfg,
             old_norm_sq,
             tensor_norm_sq,
+            pooling,
         )
     });
 
@@ -254,6 +367,28 @@ struct WorkerResult {
     iter_elapsed: Duration,
 }
 
+/// Per-worker scratch space for the Gram rebuild: the three `R×R`
+/// partial-product matrices plus the fused all-reduce staging buffer.
+/// Allocated once per worker and zeroed in place each mode, so the
+/// steady-state Gram path performs no allocation at all.
+struct GramWorkspace {
+    g0: Matrix,
+    g1: Matrix,
+    cr: Matrix,
+    buf: Vec<f64>,
+}
+
+impl GramWorkspace {
+    fn new(r: usize) -> Self {
+        GramWorkspace {
+            g0: Matrix::zeros(r, r),
+            g1: Matrix::zeros(r, r),
+            cr: Matrix::zeros(r, r),
+            buf: Vec::with_capacity(3 * r * r),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_body(
     ctx: &mut WorkerCtx,
@@ -264,6 +399,7 @@ fn worker_body(
     cfg: &DecompConfig,
     old_norm_sq: f64,
     tensor_norm_sq: f64,
+    pooling: bool,
 ) -> WorkerResult {
     let me = ctx.rank();
     let world = ctx.world();
@@ -275,6 +411,11 @@ fn worker_body(
     // Replicated factor copies; only owned ∪ referenced rows stay fresh.
     let mut factors: Vec<Matrix> = init.as_ref().clone();
 
+    // Reusable scratch: Gram partials + all-reduce staging, and the
+    // message-payload pool for the two row exchanges.
+    let mut ws = GramWorkspace::new(r);
+    let mut pool = BufferPool::new(pooling);
+
     // Replicated RxR state, rebuilt by all-reduce from owned-row partials so
     // every worker agrees bit-for-bit.
     let mut state = GramState {
@@ -283,11 +424,14 @@ fn worker_body(
         cross: vec![Matrix::zeros(r, r); order],
     };
     for n in 0..order {
-        let (g0, g1, cr) = local_gram_partials(&factors[n], &old[n], &plan.owned_rows[n], old_rows[n], r);
-        let reduced = allreduce_grams(ctx, &g0, &g1, &cr);
-        state.gram0[n] = reduced.0;
-        state.gram1[n] = reduced.1;
-        state.cross[n] = reduced.2;
+        local_gram_partials(
+            &mut ws,
+            &factors[n],
+            &old[n],
+            &plan.owned_rows[n],
+            old_rows[n],
+        );
+        allreduce_grams(ctx, &mut ws, &mut state, n);
     }
 
     let mut loss_trace: Vec<f64> = Vec::with_capacity(cfg.max_iters);
@@ -302,9 +446,13 @@ fn worker_body(
         let mut inner_partial = 0.0;
         for n in 0..order {
             // -- 1. local MTTKRP partials over this worker's nonzeros -----
+            // Cached cell layouts: each plan accumulates its run totals
+            // into `hat[n]`, touching every output row once per cell.
             hat[n].fill_zero();
-            mttkrp_into(&plan.local, &factors, n, &mut hat[n])
-                .expect("plans validated against factor shapes");
+            for cell in &plan.cells {
+                cell.mttkrp_into(&factors, n, &mut hat[n])
+                    .expect("plans validated against factor shapes");
+            }
 
             // -- route partials to row owners ------------------------------
             let outgoing: Vec<Payload> = (0..world)
@@ -312,7 +460,7 @@ fn worker_body(
                     if d == me {
                         Payload::Empty
                     } else {
-                        Payload::F64(pack_rows(&hat[n], &plan.partial_routes[n][d]))
+                        Payload::F64(pack_rows(&hat[n], &plan.partial_routes[n][d], &mut pool))
                     }
                 })
                 .collect();
@@ -323,6 +471,7 @@ fn worker_body(
                 }
                 let data = payload.into_f64();
                 add_rows(&mut hat[n], &plan.serve_routes[n][d], &data);
+                pool.put(data);
             }
 
             // -- 2. owners update their rows (Eq. 5, row-wise) -------------
@@ -365,7 +514,7 @@ fn worker_body(
                     if d == me {
                         Payload::Empty
                     } else {
-                        Payload::F64(pack_rows(&factors[n], &plan.serve_routes[n][d]))
+                        Payload::F64(pack_rows(&factors[n], &plan.serve_routes[n][d], &mut pool))
                     }
                 })
                 .collect();
@@ -376,15 +525,12 @@ fn worker_body(
                 }
                 let data = payload.into_f64();
                 write_rows(&mut factors[n], &plan.partial_routes[n][d], &data);
+                pool.put(data);
             }
 
             // -- 3. rebuild the RxR products by all-reduce ------------------
-            let (g0, g1, cr) =
-                local_gram_partials(&factors[n], &old[n], &plan.owned_rows[n], old_n, r);
-            let reduced = allreduce_grams(ctx, &g0, &g1, &cr);
-            state.gram0[n] = reduced.0;
-            state.gram1[n] = reduced.1;
-            state.cross[n] = reduced.2;
+            local_gram_partials(&mut ws, &factors[n], &old[n], &plan.owned_rows[n], old_n);
+            allreduce_grams(ctx, &mut ws, &mut state, n);
 
             // -- 4. loss reuse: data inner product from the final mode -----
             if n == order - 1 {
@@ -427,10 +573,12 @@ fn worker_body(
     }
 }
 
-/// Packs the listed rows of `m` into one contiguous buffer.
-fn pack_rows(m: &Matrix, rows: &[u32]) -> Vec<f64> {
+/// Packs the listed rows of `m` into one contiguous buffer drawn from the
+/// worker's pool (an empty `Vec` when pooling is off or the pool is dry).
+fn pack_rows(m: &Matrix, rows: &[u32], pool: &mut BufferPool) -> Vec<f64> {
     let r = m.cols();
-    let mut out = Vec::with_capacity(rows.len() * r);
+    let mut out = pool.take();
+    out.reserve(rows.len() * r);
     for &row in rows {
         out.extend_from_slice(m.row(row as usize));
     }
@@ -460,21 +608,22 @@ fn write_rows(m: &mut Matrix, rows: &[u32], data: &[f64]) {
 }
 
 /// Partial Grams over this worker's owned rows: `(G⁰, G¹, G̃)` contributions
-/// (the row-wise partial products of Sec. IV-B3).
+/// (the row-wise partial products of Sec. IV-B3), accumulated into the
+/// workspace matrices, which are zeroed in place first.
 fn local_gram_partials(
+    ws: &mut GramWorkspace,
     factor: &Matrix,
     old: &Matrix,
     owned: &[u32],
     old_n: usize,
-    r: usize,
-) -> (Matrix, Matrix, Matrix) {
-    let mut g0 = Matrix::zeros(r, r);
-    let mut g1 = Matrix::zeros(r, r);
-    let mut cr = Matrix::zeros(r, r);
+) {
+    ws.g0.fill_zero();
+    ws.g1.fill_zero();
+    ws.cr.fill_zero();
     for &row in owned {
         let row = row as usize;
         let a = factor.row(row);
-        let target = if row < old_n { &mut g0 } else { &mut g1 };
+        let target = if row < old_n { &mut ws.g0 } else { &mut ws.g1 };
         for (p, &av) in a.iter().enumerate() {
             if av == 0.0 {
                 continue;
@@ -490,34 +639,37 @@ fn local_gram_partials(
                 if ov == 0.0 {
                     continue;
                 }
-                let out_row = cr.row_mut(p);
+                let out_row = ws.cr.row_mut(p);
                 for (c, &av) in out_row.iter_mut().zip(a) {
                     *c += ov * av;
                 }
             }
         }
     }
-    (g0, g1, cr)
 }
 
-/// All-reduces the three RxR partials in one fused buffer (one collective,
-/// `3R²` values — the `O(MNR²)` term of Theorem 4).
-fn allreduce_grams(
-    ctx: &mut WorkerCtx,
-    g0: &Matrix,
-    g1: &Matrix,
-    cr: &Matrix,
-) -> (Matrix, Matrix, Matrix) {
-    let r = g0.rows();
-    let mut buf = Vec::with_capacity(3 * r * r);
-    buf.extend_from_slice(g0.as_slice());
-    buf.extend_from_slice(g1.as_slice());
-    buf.extend_from_slice(cr.as_slice());
-    ctx.allreduce_sum(&mut buf);
-    let g0 = Matrix::from_vec(r, r, buf[0..r * r].to_vec()).expect("size fixed");
-    let g1 = Matrix::from_vec(r, r, buf[r * r..2 * r * r].to_vec()).expect("size fixed");
-    let cr = Matrix::from_vec(r, r, buf[2 * r * r..].to_vec()).expect("size fixed");
-    (g0, g1, cr)
+/// All-reduces the workspace's three RxR partials in one fused staging
+/// buffer (one collective, `3R²` values — the `O(MNR²)` term of Theorem 4)
+/// and writes the reduced products straight into the mode-`n` slots of the
+/// replicated Gram state.  The staging buffer's capacity is reused across
+/// calls.
+fn allreduce_grams(ctx: &mut WorkerCtx, ws: &mut GramWorkspace, state: &mut GramState, n: usize) {
+    let r = ws.g0.rows();
+    let rr = r * r;
+    ws.buf.clear();
+    ws.buf.extend_from_slice(ws.g0.as_slice());
+    ws.buf.extend_from_slice(ws.g1.as_slice());
+    ws.buf.extend_from_slice(ws.cr.as_slice());
+    ctx.allreduce_sum(&mut ws.buf);
+    state.gram0[n]
+        .as_mut_slice()
+        .copy_from_slice(&ws.buf[0..rr]);
+    state.gram1[n]
+        .as_mut_slice()
+        .copy_from_slice(&ws.buf[rr..2 * rr]);
+    state.cross[n]
+        .as_mut_slice()
+        .copy_from_slice(&ws.buf[2 * rr..]);
 }
 
 /// Gathers every worker's owned rows to rank 0 and assembles the final
@@ -530,10 +682,13 @@ fn gather_factors(
 ) -> Option<Result<Vec<Matrix>>> {
     let me = ctx.rank();
     let order = factors.len();
-    // One payload: all owned rows of all modes, concatenated.
+    // One payload: all owned rows of all modes, concatenated.  One-shot
+    // per decomposition, so no pooling here.
     let mut packed = Vec::new();
     for (n, f) in factors.iter().enumerate() {
-        packed.extend(pack_rows(f, &plans[me].owned_rows[n]));
+        for &row in &plans[me].owned_rows[n] {
+            packed.extend_from_slice(f.row(row as usize));
+        }
     }
     let gathered = ctx.gather(0, Payload::F64(packed));
     let gathered = gathered?; // None on non-root ranks
@@ -553,29 +708,50 @@ fn gather_factors(
     Some(Ok(out))
 }
 
-/// Splits the tensor over workers and derives row ownership and the
-/// partial/update routing tables.
+/// Splits the tensor over workers and grid cells, compiles (or fetches
+/// from `cache`) one MTTKRP layout per non-empty cell, and derives row
+/// ownership and the partial/update routing tables.
 fn build_plans(
     tensor: &SparseTensor,
     grid: &GridPartition,
     world: usize,
+    cache: &mut PlanCache,
 ) -> Result<Vec<WorkerPlan>> {
     let order = tensor.order();
-    // Per-worker nonzeros.
-    let mut builders: Vec<SparseTensorBuilder> = (0..world)
-        .map(|_| SparseTensorBuilder::new(tensor.shape().to_vec()))
-        .collect();
+    // Per-cell nonzeros: the cell is the caching unit, so each non-empty
+    // cell becomes its own sub-tensor.  BTreeMap keeps cell iteration
+    // order deterministic.
+    let mut cell_builders: std::collections::BTreeMap<usize, SparseTensorBuilder> =
+        std::collections::BTreeMap::new();
     // Per-worker, per-mode referenced-row sets.
     let mut needed: Vec<Vec<Vec<bool>>> = (0..world)
         .map(|_| tensor.shape().iter().map(|&s| vec![false; s]).collect())
         .collect();
     for (idx, v) in tensor.iter() {
         let w = grid.worker_of(idx);
-        builders[w].push(idx, v)?;
+        cell_builders
+            .entry(grid.cell_of(idx))
+            .or_insert_with(|| SparseTensorBuilder::new(tensor.shape().to_vec()))
+            .push(idx, v)?;
         for (n, &i) in idx.iter().enumerate() {
             needed[w][n][i] = true;
         }
     }
+
+    // Compile (or reuse) the layout of every populated cell.
+    let mut cells_by_worker: Vec<Vec<Arc<MttkrpPlan>>> = vec![Vec::new(); world];
+    let mut local_nnz = vec![0usize; world];
+    let mut live_keys = Vec::with_capacity(cell_builders.len());
+    for (cell, builder) in cell_builders {
+        let sub = builder.build()?;
+        let w = grid.worker_of(sub.index(0));
+        debug_assert_eq!(grid.cell_of(sub.index(0)), cell);
+        let (key, plan) = cache.get_or_build(&sub);
+        live_keys.push(key);
+        local_nnz[w] += plan.nnz();
+        cells_by_worker[w].push(plan);
+    }
+    cache.retain_live(&live_keys);
 
     // Row ownership: every row of every mode has exactly one owner.
     let mut owned_rows: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); order]; world];
@@ -621,10 +797,11 @@ fn build_plans(
         })
         .collect();
     let mut serve_routes_all = serve_routes_all;
-    for (w, builder) in builders.into_iter().enumerate() {
+    for (w, cells) in cells_by_worker.into_iter().enumerate() {
         let serve_routes = std::mem::take(&mut serve_routes_all[w]);
         plans.push(WorkerPlan {
-            local: builder.build()?,
+            cells,
+            local_nnz: local_nnz[w],
             owned_rows: std::mem::take(&mut owned_rows[w]),
             partial_routes: std::mem::take(&mut partial_routes_all[w]),
             serve_routes,
@@ -640,7 +817,7 @@ fn setup_bytes(plans: &[WorkerPlan], order: usize, rank: usize) -> u64 {
     let mut total = 0u64;
     for plan in plans {
         // Coordinate format: N indices + 1 value per nonzero.
-        total += plan.local.nnz() as u64 * (order as u64 + 1) * 8;
+        total += plan.local_nnz as u64 * (order as u64 + 1) * 8;
         for n in 0..order {
             let mut rows = plan.owned_rows[n].len() as u64;
             for d in 0..plans.len() {
@@ -692,7 +869,10 @@ mod tests {
     }
 
     fn cfg() -> DecompConfig {
-        DecompConfig::default().with_rank(3).with_max_iters(6).with_seed(5)
+        DecompConfig::default()
+            .with_rank(3)
+            .with_max_iters(6)
+            .with_seed(5)
     }
 
     #[test]
@@ -700,7 +880,10 @@ mod tests {
         let old_shape = [4usize, 4, 3];
         let old: Vec<Matrix> = {
             let mut rng = ChaCha8Rng::seed_from_u64(1);
-            old_shape.iter().map(|&s| Matrix::random(s, 3, &mut rng)).collect()
+            old_shape
+                .iter()
+                .map(|&s| Matrix::random(s, 3, &mut rng))
+                .collect()
         };
         let x = random_complement(&old_shape, &[6, 6, 5], 50, 2);
         let serial = dtd(&x, &old, &cfg()).unwrap();
@@ -718,7 +901,10 @@ mod tests {
         let old_shape = [4usize, 5, 3];
         let old: Vec<Matrix> = {
             let mut rng = ChaCha8Rng::seed_from_u64(3);
-            old_shape.iter().map(|&s| Matrix::random(s, 3, &mut rng)).collect()
+            old_shape
+                .iter()
+                .map(|&s| Matrix::random(s, 3, &mut rng))
+                .collect()
         };
         let x = random_complement(&old_shape, &[8, 8, 6], 120, 4);
         let serial = dtd(&x, &old, &cfg()).unwrap();
@@ -738,12 +924,7 @@ mod tests {
                     );
                 }
                 // Factors agree too (same fixed point trajectory).
-                for (fs, fd) in serial
-                    .kruskal
-                    .factors()
-                    .iter()
-                    .zip(dist.kruskal.factors())
-                {
+                for (fs, fd) in serial.kruskal.factors().iter().zip(dist.kruskal.factors()) {
                     assert!(fs.max_abs_diff(fd).unwrap() < 1e-6);
                 }
             }
@@ -776,7 +957,10 @@ mod tests {
         let old_shape = [3usize, 3, 3];
         let old: Vec<Matrix> = {
             let mut rng = ChaCha8Rng::seed_from_u64(8);
-            old_shape.iter().map(|&s| Matrix::random(s, 2, &mut rng)).collect()
+            old_shape
+                .iter()
+                .map(|&s| Matrix::random(s, 2, &mut rng))
+                .collect()
         };
         let x = random_complement(&old_shape, &[6, 6, 6], 70, 9);
         let out = dismastd(
@@ -787,7 +971,11 @@ mod tests {
         )
         .unwrap();
         for w in out.loss_trace.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9 * (1.0 + w[0].abs()), "{:?}", out.loss_trace);
+            assert!(
+                w[1] <= w[0] + 1e-9 * (1.0 + w[0].abs()),
+                "{:?}",
+                out.loss_trace
+            );
         }
     }
 
@@ -807,13 +995,93 @@ mod tests {
     #[test]
     fn rejects_zero_workers() {
         let x = random_tensor(&[4, 4], 10, 11);
-        assert!(dms_mg(&x, &cfg(), &ClusterConfig {
-            workers: 0,
-            partitioner: Partitioner::Mtp,
-            parts_per_mode: None,
-            cell_assignment: CellAssignment::BlockGrid,
-        })
+        assert!(dms_mg(
+            &x,
+            &cfg(),
+            &ClusterConfig {
+                workers: 0,
+                partitioner: Partitioner::Mtp,
+                parts_per_mode: None,
+                cell_assignment: CellAssignment::BlockGrid,
+                pooling: true,
+            }
+        )
         .is_err());
+    }
+
+    #[test]
+    fn buffer_pool_is_invisible_to_comm_accounting() {
+        // Pooling recycles capacity only; for a fixed seed the traffic
+        // counters and the numerical trajectory must be bit-identical with
+        // pooling on and off.
+        let x = random_tensor(&[8, 7, 6], 110, 14);
+        let on = dms_mg(&x, &cfg(), &ClusterConfig::new(3)).unwrap();
+        let off = dms_mg(&x, &cfg(), &ClusterConfig::new(3).with_pooling(false)).unwrap();
+        assert!(
+            on.comm.bytes > 0,
+            "test needs real traffic to be meaningful"
+        );
+        assert_eq!(on.comm, off.comm);
+        assert_eq!(on.loss_trace, off.loss_trace);
+        for (a, b) in on.kruskal.factors().iter().zip(off.kruskal.factors()) {
+            assert_eq!(a.max_abs_diff(b).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn plan_cache_reuses_unchanged_cells_across_steps() {
+        let old_shape = [4usize, 4, 3];
+        let old: Vec<Matrix> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(15);
+            old_shape
+                .iter()
+                .map(|&s| Matrix::random(s, 3, &mut rng))
+                .collect()
+        };
+        let x = random_complement(&old_shape, &[7, 7, 5], 80, 16);
+        let cc = ClusterConfig::new(2);
+        let mut cache = PlanCache::new();
+
+        let first = dismastd_with_cache(&x, &old, &cfg(), &cc, &mut cache).unwrap();
+        let cells = cache.len();
+        assert!(cells > 0);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), cells as u64);
+
+        // Identical snapshot ⇒ every cell is served from cache, and the
+        // result is bitwise unchanged.
+        let second = dismastd_with_cache(&x, &old, &cfg(), &cc, &mut cache).unwrap();
+        assert_eq!(cache.hits(), cells as u64);
+        assert_eq!(cache.misses(), cells as u64);
+        assert_eq!(first.loss_trace, second.loss_trace);
+
+        // Fresh-cache baseline agrees exactly, so caching never changes
+        // results.
+        let fresh = dismastd(&x, &old, &cfg(), &cc).unwrap();
+        assert_eq!(first.loss_trace, fresh.loss_trace);
+    }
+
+    #[test]
+    fn plan_cache_evicts_dead_cells() {
+        let cfg2 = DecompConfig::default().with_rank(2).with_max_iters(2);
+        let cc = ClusterConfig::new(2);
+        let mut cache = PlanCache::new();
+        let a = random_tensor(&[6, 6, 6], 70, 17);
+        dms_mg_with_cache(&a, &cfg2, &cc, &mut cache).unwrap();
+        let after_a = cache.len();
+        assert!(after_a > 0);
+        // A different tensor shares no cells: everything misses, and the
+        // old entries are evicted rather than accumulating — the cache
+        // holds exactly `b`'s cells afterwards.
+        let b = random_tensor(&[6, 6, 6], 70, 18);
+        dms_mg_with_cache(&b, &cfg2, &cc, &mut cache).unwrap();
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len() as u64, cache.misses() - after_a as u64);
+        let live_b = cache.len();
+        // Re-running `b` hits every live cell.
+        dms_mg_with_cache(&b, &cfg2, &cc, &mut cache).unwrap();
+        assert_eq!(cache.hits(), live_b as u64);
+        assert_eq!(cache.len(), live_b);
     }
 
     #[test]
@@ -829,7 +1097,10 @@ mod tests {
     fn empty_complement_distributed() {
         let old: Vec<Matrix> = {
             let mut rng = ChaCha8Rng::seed_from_u64(13);
-            [3usize, 3].iter().map(|&s| Matrix::random(s, 2, &mut rng)).collect()
+            [3usize, 3]
+                .iter()
+                .map(|&s| Matrix::random(s, 2, &mut rng))
+                .collect()
         };
         let x = SparseTensor::empty(vec![5, 5]).unwrap();
         let out = dismastd(

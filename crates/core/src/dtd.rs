@@ -141,8 +141,9 @@ pub fn dtd(
             let hat = mttkrp(complement, &factors, n)?;
 
             // Denominators (Eq. 5).
-            let totals: Vec<Matrix> =
-                (0..n_modes).map(|k| state.total(k)).collect::<Result<_>>()?;
+            let totals: Vec<Matrix> = (0..n_modes)
+                .map(|k| state.total(k))
+                .collect::<Result<_>>()?;
             let d1 = hadamard_skip(&totals, n)?;
             let d0 = {
                 let g0_had = hadamard_skip(&state.gram0, n)?;
@@ -249,10 +250,7 @@ mod tests {
         let mut b = SparseTensorBuilder::new(new_shape.to_vec());
         let mut placed = 0;
         while placed < nnz {
-            let idx: Vec<usize> = new_shape
-                .iter()
-                .map(|&s| rng.gen_range(0..s))
-                .collect();
+            let idx: Vec<usize> = new_shape.iter().map(|&s| rng.gen_range(0..s)).collect();
             if SparseTensor::block_of(&idx, old_shape) == 0 {
                 continue;
             }
@@ -320,8 +318,7 @@ mod tests {
         let x = random_complement(&old_shape, &new_shape, 30, 5);
         let out = dtd(&x, &old, &cfg(2)).unwrap();
         let reported = *out.loss_trace.last().unwrap();
-        let naive =
-            naive_dtd_loss(&x, &old, out.kruskal.factors(), 0.8).unwrap();
+        let naive = naive_dtd_loss(&x, &old, out.kruskal.factors(), 0.8).unwrap();
         assert!(
             (reported - naive).abs() < 1e-8 * (1.0 + naive.abs()),
             "{reported} vs {naive}"

@@ -28,7 +28,9 @@ pub mod rank;
 pub mod session;
 
 pub use config::DecompConfig;
-pub use distributed::{dismastd, dms_mg, ClusterConfig, DistOutput};
+pub use distributed::{
+    dismastd, dismastd_with_cache, dms_mg, dms_mg_with_cache, ClusterConfig, DistOutput, PlanCache,
+};
 pub use dtd::{dtd, DtdOutput};
 pub use onlinecp::OnlineCp;
 pub use rank::{select_rank, RankSearch};
@@ -73,10 +75,7 @@ mod proptests {
                 let mut attempts = 0;
                 while placed < nnz && attempts < nnz * 50 {
                     attempts += 1;
-                    let idx: Vec<usize> = new_shape
-                        .iter()
-                        .map(|&s| rng.gen_range(0..s))
-                        .collect();
+                    let idx: Vec<usize> = new_shape.iter().map(|&s| rng.gen_range(0..s)).collect();
                     if SparseTensor::block_of(&idx, &old_shape) == 0 {
                         continue;
                     }

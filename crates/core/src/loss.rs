@@ -168,12 +168,7 @@ mod tests {
         b.push(&[3, 3, 2], 1.2).unwrap();
         b.push(&[2, 1, 0], -0.4).unwrap();
         let complement = b.build().unwrap();
-        (
-            complement,
-            old_factors,
-            factors,
-            old_shape.to_vec(),
-        )
+        (complement, old_factors, factors, old_shape.to_vec())
     }
 
     fn assemble_parts(
@@ -207,8 +202,7 @@ mod tests {
         for seed in [1u64, 2, 3, 7, 13] {
             let (complement, old_factors, factors, old_rows) = setup(seed);
             let mu = 0.8;
-            let (state, parts) =
-                assemble_parts(&complement, &old_factors, &factors, &old_rows, mu);
+            let (state, parts) = assemble_parts(&complement, &old_factors, &factors, &old_rows, mu);
             let fast = dtd_loss(&state, &parts).unwrap();
             let naive = naive_dtd_loss(&complement, &old_factors, &factors, mu).unwrap();
             assert!(

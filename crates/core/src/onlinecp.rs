@@ -200,11 +200,7 @@ mod tests {
     }
 
     /// Dense tensor of the truth restricted to temporal range [t0, t1).
-    fn slice_batch(
-        truth: &[Matrix],
-        t0: usize,
-        t1: usize,
-    ) -> SparseTensor {
+    fn slice_batch(truth: &[Matrix], t0: usize, t1: usize) -> SparseTensor {
         let k = KruskalTensor::new(truth.to_vec()).expect("equal ranks");
         let dense = k.to_dense().expect("small");
         let order = truth.len();
@@ -237,7 +233,7 @@ mod tests {
 
     #[test]
     fn tracks_a_low_rank_one_mode_stream() {
-        let truth = ground_truth(&[8, 7, 12], 2, 1);
+        let truth = ground_truth(&[8, 7, 12], 2, 2);
         // Initial batch: first 6 time steps; stream the rest in batches.
         let x0 = slice_batch(&truth, 0, 6);
         let mut online = OnlineCp::init(&x0, &cfg(2)).unwrap();
@@ -247,12 +243,11 @@ mod tests {
             online.ingest_slices(&delta).unwrap();
         }
         assert_eq!(online.shape(), vec![8, 7, 12]);
-        let fit = online
-            .kruskal()
-            .unwrap()
-            .fit(&full_tensor(&truth))
-            .unwrap();
-        assert!(fit > 0.95, "OnlineCP fit {fit} on an exactly low-rank stream");
+        let fit = online.kruskal().unwrap().fit(&full_tensor(&truth)).unwrap();
+        assert!(
+            fit > 0.95,
+            "OnlineCP fit {fit} on an exactly low-rank stream"
+        );
     }
 
     #[test]
@@ -265,7 +260,9 @@ mod tests {
         let x0 = slice_batch(&truth, 0, 5);
         let mut online = OnlineCp::init(&x0, &cfg(2)).unwrap();
         for t in 5..10 {
-            online.ingest_slices(&slice_batch(&truth, t, t + 1)).unwrap();
+            online
+                .ingest_slices(&slice_batch(&truth, t, t + 1))
+                .unwrap();
         }
         let online_fit = online.kruskal().unwrap().fit(&full).unwrap();
         assert!(
@@ -311,11 +308,7 @@ mod tests {
         let mut online = OnlineCp::init(&x0, &cfg(2)).unwrap();
         online.ingest_slices(&slice_batch(&truth, 5, 8)).unwrap();
         assert_eq!(online.shape(), vec![4, 4, 3, 8]);
-        let fit = online
-            .kruskal()
-            .unwrap()
-            .fit(&full_tensor(&truth))
-            .unwrap();
+        let fit = online.kruskal().unwrap().fit(&full_tensor(&truth)).unwrap();
         assert!(fit > 0.9, "order-4 fit {fit}");
     }
 }

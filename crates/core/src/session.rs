@@ -9,7 +9,7 @@
 
 use crate::als::cp_als;
 use crate::config::DecompConfig;
-use crate::distributed::{dismastd, dms_mg, ClusterConfig};
+use crate::distributed::{dismastd_with_cache, dms_mg_with_cache, ClusterConfig, PlanCache};
 use crate::dtd::dtd;
 use dismastd_cluster::CommStatsSnapshot;
 use dismastd_tensor::{KruskalTensor, Result, SparseTensor, TensorError};
@@ -84,6 +84,9 @@ pub struct StreamingSession {
     factors: Option<KruskalTensor>,
     shape: Vec<usize>,
     step: usize,
+    /// Distributed-mode MTTKRP layout cache, carried across steps so grid
+    /// cells untouched by a snapshot update keep their compiled kernels.
+    plan_cache: PlanCache,
 }
 
 impl StreamingSession {
@@ -95,6 +98,7 @@ impl StreamingSession {
             factors: None,
             shape: Vec::new(),
             step: 0,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -106,11 +110,7 @@ impl StreamingSession {
     /// # Errors
     /// Returns [`TensorError::InvalidArgument`] when the factors' rank
     /// disagrees with `cfg.rank`.
-    pub fn resume(
-        cfg: DecompConfig,
-        mode: ExecutionMode,
-        factors: KruskalTensor,
-    ) -> Result<Self> {
+    pub fn resume(cfg: DecompConfig, mode: ExecutionMode, factors: KruskalTensor) -> Result<Self> {
         if factors.rank() != cfg.rank {
             return Err(TensorError::InvalidArgument(format!(
                 "checkpoint rank {} does not match configured rank {}",
@@ -125,7 +125,14 @@ impl StreamingSession {
             factors: Some(factors),
             shape,
             step: 1,
+            plan_cache: PlanCache::new(),
         })
+    }
+
+    /// The distributed MTTKRP layout cache (empty in serial mode).  Exposed
+    /// for inspection: `hits()`/`misses()` quantify cross-step kernel reuse.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// Consumes the session, yielding the latest decomposition (checkpoint
@@ -161,9 +168,7 @@ impl StreamingSession {
             .factors
             .as_ref()
             .ok_or_else(|| TensorError::InvalidArgument("no snapshot ingested yet".into()))?;
-        if idx.len() != k.order()
-            || idx.iter().zip(k.shape().iter()).any(|(&i, &s)| i >= s)
-        {
+        if idx.len() != k.order() || idx.iter().zip(k.shape().iter()).any(|(&i, &s)| i >= s) {
             return Err(TensorError::IndexOutOfBounds {
                 index: idx.to_vec(),
                 shape: k.shape(),
@@ -216,10 +221,17 @@ impl StreamingSession {
                     let out = cp_als(snapshot, &self.cfg)?;
                     let loss = out.loss_trace.last().copied().unwrap_or(0.0);
                     let elapsed = started.elapsed();
-                    (out.kruskal, out.iterations, loss, None, elapsed, snapshot.nnz())
+                    (
+                        out.kruskal,
+                        out.iterations,
+                        loss,
+                        None,
+                        elapsed,
+                        snapshot.nnz(),
+                    )
                 }
                 ExecutionMode::Distributed(cc) => {
-                    let out = dms_mg(snapshot, &self.cfg, cc)?;
+                    let out = dms_mg_with_cache(snapshot, &self.cfg, cc, &mut self.plan_cache)?;
                     let loss = out.loss_trace.last().copied().unwrap_or(0.0);
                     (
                         out.kruskal,
@@ -247,7 +259,8 @@ impl StreamingSession {
                     (out.kruskal, out.iterations, loss, None, elapsed, nnz)
                 }
                 ExecutionMode::Distributed(cc) => {
-                    let out = dismastd(&complement, old, &self.cfg, cc)?;
+                    let out =
+                        dismastd_with_cache(&complement, old, &self.cfg, cc, &mut self.plan_cache)?;
                     let loss = out.loss_trace.last().copied().unwrap_or(0.0);
                     (
                         out.kruskal,
@@ -341,14 +354,24 @@ mod tests {
     #[test]
     fn distributed_session_reports_comm() {
         let (s0, s1) = snapshot_pair();
-        let mut sess = StreamingSession::new(
-            cfg(),
-            ExecutionMode::Distributed(ClusterConfig::new(3)),
-        );
+        let mut sess =
+            StreamingSession::new(cfg(), ExecutionMode::Distributed(ClusterConfig::new(3)));
         let r0 = sess.ingest(&s0).unwrap();
         assert!(r0.comm.is_some());
         let r1 = sess.ingest(&s1).unwrap();
         assert!(r1.comm.expect("distributed").bytes > 0);
+        // The session-held plan cache compiled kernels for both steps.
+        assert!(sess.plan_cache().misses() > 0);
+    }
+
+    #[test]
+    fn serial_session_never_touches_plan_cache() {
+        let (s0, s1) = snapshot_pair();
+        let mut sess = StreamingSession::new(cfg(), ExecutionMode::Serial);
+        sess.ingest(&s0).unwrap();
+        sess.ingest(&s1).unwrap();
+        assert!(sess.plan_cache().is_empty());
+        assert_eq!(sess.plan_cache().hits() + sess.plan_cache().misses(), 0);
     }
 
     #[test]
@@ -404,8 +427,8 @@ mod tests {
         let mut first = StreamingSession::new(cfg(), ExecutionMode::Serial);
         first.ingest(&s0).unwrap();
         let checkpoint = first.into_factors().unwrap();
-        let mut resumed = StreamingSession::resume(cfg(), ExecutionMode::Serial, checkpoint)
-            .unwrap();
+        let mut resumed =
+            StreamingSession::resume(cfg(), ExecutionMode::Serial, checkpoint).unwrap();
         let r_res = resumed.ingest(&s1).unwrap();
 
         assert!(!r_res.cold_start);
@@ -434,10 +457,7 @@ mod tests {
             b.push(&idx, rng.gen_range(0.8..1.2)).unwrap();
         }
         let full = b.build().unwrap();
-        let mut sess = StreamingSession::new(
-            cfg().with_max_iters(12),
-            ExecutionMode::Serial,
-        );
+        let mut sess = StreamingSession::new(cfg().with_max_iters(12), ExecutionMode::Serial);
         let mut fits = Vec::new();
         for f in [0.7f64, 0.8, 0.9, 1.0] {
             let bounds: Vec<usize> = full_shape

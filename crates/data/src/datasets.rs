@@ -167,7 +167,10 @@ mod tests {
         let uh = uni.slice_nnz(0).unwrap();
         let umean = uni.nnz() as f64 / uh.len() as f64;
         let umax = *uh.iter().max().unwrap() as f64;
-        assert!(umax < 3.0 * umean, "synthetic too skewed: {umax} vs {umean}");
+        assert!(
+            umax < 3.0 * umean,
+            "synthetic too skewed: {umax} vs {umean}"
+        );
     }
 
     #[test]

@@ -178,11 +178,7 @@ impl EventLog {
         for t in 0..num_events {
             // Population known at event t.
             let frac = ((t + 1) as f64 / num_events as f64).powf(growth);
-            for ((i, s), sampler) in idx
-                .iter_mut()
-                .zip(final_shape)
-                .zip(&samplers)
-            {
+            for ((i, s), sampler) in idx.iter_mut().zip(final_shape).zip(&samplers) {
                 let ceiling = ((*s as f64 * frac).ceil() as usize).clamp(1, *s);
                 // Rejection-sample within the known population.
                 loop {

@@ -96,8 +96,7 @@ pub fn read_coo_text(r: impl Read) -> Result<SparseTensor> {
 /// # Errors
 /// Returns [`TensorError::InvalidArgument`] on serialisation failure.
 pub fn to_json(tensor: &SparseTensor) -> Result<String> {
-    serde_json::to_string(tensor)
-        .map_err(|e| TensorError::InvalidArgument(format!("json: {e}")))
+    serde_json::to_string(tensor).map_err(|e| TensorError::InvalidArgument(format!("json: {e}")))
 }
 
 /// Deserialises a tensor from [`to_json`] output.

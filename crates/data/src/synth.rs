@@ -14,11 +14,7 @@ use rand::Rng;
 /// # Errors
 /// Returns [`TensorError::InvalidArgument`] if `nnz` exceeds the number of
 /// cells in the tensor.
-pub fn uniform_tensor(
-    shape: &[usize],
-    nnz: usize,
-    rng: &mut impl Rng,
-) -> Result<SparseTensor> {
+pub fn uniform_tensor(shape: &[usize], nnz: usize, rng: &mut impl Rng) -> Result<SparseTensor> {
     let cells: f64 = shape.iter().map(|&s| s as f64).product();
     if (nnz as f64) > cells {
         return Err(TensorError::InvalidArgument(format!(
@@ -196,7 +192,9 @@ mod tests {
         let hist = t.slice_nnz(0).unwrap();
         let mean = 4000.0 / 20.0;
         // All slices within ±50% of the mean — very loose, just anti-skew.
-        assert!(hist.iter().all(|&h| (h as f64) > 0.5 * mean && (h as f64) < 1.5 * mean));
+        assert!(hist
+            .iter()
+            .all(|&h| (h as f64) > 0.5 * mean && (h as f64) < 1.5 * mean));
     }
 
     #[test]
@@ -230,7 +228,11 @@ mod tests {
     fn zipf_tensor_is_skewed() {
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let t = zipf_tensor(&[200, 200, 50], 5000, &[1.1, 1.1, 0.8], &mut rng).unwrap();
-        assert!(t.nnz() > 4000, "collisions ate too many entries: {}", t.nnz());
+        assert!(
+            t.nnz() > 4000,
+            "collisions ate too many entries: {}",
+            t.nnz()
+        );
         let hist = t.slice_nnz(0).unwrap();
         let max = *hist.iter().max().unwrap() as f64;
         let mean = t.nnz() as f64 / 200.0;
@@ -248,8 +250,20 @@ mod tests {
         let a = uniform_tensor(&[30, 30], 100, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
         let b = uniform_tensor(&[30, 30], 100, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
         assert_eq!(a, b);
-        let c = zipf_tensor(&[30, 30], 100, &[1.0, 1.0], &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
-        let d = zipf_tensor(&[30, 30], 100, &[1.0, 1.0], &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        let c = zipf_tensor(
+            &[30, 30],
+            100,
+            &[1.0, 1.0],
+            &mut ChaCha8Rng::seed_from_u64(9),
+        )
+        .unwrap();
+        let d = zipf_tensor(
+            &[30, 30],
+            100,
+            &[1.0, 1.0],
+            &mut ChaCha8Rng::seed_from_u64(9),
+        )
+        .unwrap();
         assert_eq!(c, d);
     }
 }

@@ -154,9 +154,7 @@ impl GridPartition {
             CellAssignment::BlockGrid => {
                 assign_block_grid(&mode_partitions, &strides, num_cells, num_workers)
             }
-            CellAssignment::Scatter => {
-                assign_scatter(&cell_nnz, num_workers)
-            }
+            CellAssignment::Scatter => assign_scatter(&cell_nnz, num_workers),
         };
 
         // Factor-row ownership: for each (mode, partition) pick the worker
@@ -176,10 +174,8 @@ impl GridPartition {
             let owners: Vec<u32> = (0..parts)
                 .map(|p| {
                     let row = &weight[p * num_workers..(p + 1) * num_workers];
-                    let (best_w, best) = row
-                        .iter()
-                        .enumerate()
-                        .fold((0usize, 0u64), |acc, (w, &v)| {
+                    let (best_w, best) =
+                        row.iter().enumerate().fold((0usize, 0u64), |acc, (w, &v)| {
                             if v > acc.1 {
                                 (w, v)
                             } else {
@@ -223,8 +219,21 @@ impl GridPartition {
     /// Worker that owns the nonzero at `idx`.
     #[inline]
     pub fn worker_of(&self, idx: &[usize]) -> usize {
-        let cell = cell_id(idx, &self.mode_partitions, &self.strides);
-        self.cell_workers[cell] as usize
+        self.cell_workers[self.cell_of(idx)] as usize
+    }
+
+    /// Dense grid-cell id of the nonzero at `idx` (row-major over the
+    /// per-mode partition counts).  Cells are the unit of MTTKRP-plan
+    /// caching in the distributed driver: a cell whose nonzeros are
+    /// unchanged between stream steps keeps its compiled kernel layout.
+    #[inline]
+    pub fn cell_of(&self, idx: &[usize]) -> usize {
+        cell_id(idx, &self.mode_partitions, &self.strides)
+    }
+
+    /// Total number of grid cells (product of per-mode partition counts).
+    pub fn num_cells(&self) -> usize {
+        self.cell_workers.len()
     }
 
     /// Worker that owns the factor rows of the given mode partition.
@@ -304,7 +313,10 @@ fn assign_block_grid(
     num_cells: usize,
     workers: usize,
 ) -> Vec<u32> {
-    let parts: Vec<usize> = mode_partitions.iter().map(ModePartition::num_parts).collect();
+    let parts: Vec<usize> = mode_partitions
+        .iter()
+        .map(ModePartition::num_parts)
+        .collect();
     let dims = worker_grid_dims(&parts, workers);
     // Mixed-radix strides for worker coordinates.
     let order = dims.len();
@@ -377,14 +389,8 @@ mod tests {
         let t = test_tensor();
         for partitioner in [Partitioner::Gtp, Partitioner::Mtp] {
             for assignment in [CellAssignment::BlockGrid, CellAssignment::Scatter] {
-                let g = GridPartition::build_with(
-                    &t,
-                    partitioner,
-                    &[2, 2, 2],
-                    3,
-                    assignment,
-                )
-                .unwrap();
+                let g =
+                    GridPartition::build_with(&t, partitioner, &[2, 2, 2], 3, assignment).unwrap();
                 let loads = g.worker_loads(&t);
                 assert_eq!(loads.iter().sum::<u64>(), t.nnz() as u64);
             }
@@ -468,8 +474,8 @@ mod tests {
         }
         let t = b.build().unwrap();
         let max_of = |assignment| {
-            let g = GridPartition::build_with(&t, Partitioner::Mtp, &[4, 4, 4], 4, assignment)
-                .unwrap();
+            let g =
+                GridPartition::build_with(&t, Partitioner::Mtp, &[4, 4, 4], 4, assignment).unwrap();
             g.worker_loads(&t).into_iter().max().unwrap()
         };
         assert!(max_of(CellAssignment::Scatter) <= max_of(CellAssignment::BlockGrid));
@@ -520,7 +526,10 @@ mod tests {
         let g = GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 2).unwrap();
         let loads = g.worker_loads(&t);
         let owner = g.row_owner(0, 0);
-        assert!(loads[owner] > 0, "owner {owner} of the only populated slice has no data");
+        assert!(
+            loads[owner] > 0,
+            "owner {owner} of the only populated slice has no data"
+        );
     }
 
     #[test]

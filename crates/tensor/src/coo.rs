@@ -144,13 +144,16 @@ impl SparseTensor {
         idx.iter()
             .zip(old_shape)
             .enumerate()
-            .fold(0usize, |acc, (k, (&i, &old))| {
-                if i >= old {
-                    acc | (1 << k)
-                } else {
-                    acc
-                }
-            })
+            .fold(
+                0usize,
+                |acc, (k, (&i, &old))| {
+                    if i >= old {
+                        acc | (1 << k)
+                    } else {
+                        acc
+                    }
+                },
+            )
     }
 
     /// Splits this tensor into `(inside, complement)` relative to an old
@@ -265,8 +268,11 @@ impl SparseTensor {
 }
 
 /// Binary search over flattened index tuples, comparing lexicographically.
-fn binary_search_tuples(flat: &[usize], stride: usize, needle: &[usize]) ->
-    std::result::Result<usize, usize> {
+fn binary_search_tuples(
+    flat: &[usize],
+    stride: usize,
+    needle: &[usize],
+) -> std::result::Result<usize, usize> {
     let len = flat.len() / stride.max(1);
     let mut lo = 0usize;
     let mut hi = len;
@@ -557,8 +563,7 @@ mod tests {
     #[test]
     fn iter_matches_accessors() {
         let t = small();
-        let collected: Vec<(Vec<usize>, f64)> =
-            t.iter().map(|(i, v)| (i.to_vec(), v)).collect();
+        let collected: Vec<(Vec<usize>, f64)> = t.iter().map(|(i, v)| (i.to_vec(), v)).collect();
         assert_eq!(collected.len(), t.nnz());
         for (e, (idx, v)) in collected.iter().enumerate() {
             assert_eq!(idx.as_slice(), t.index(e));

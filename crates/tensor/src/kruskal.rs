@@ -26,10 +26,7 @@ impl KruskalTensor {
     /// Returns an error if fewer than one factor is supplied or the column
     /// counts (ranks) differ.
     pub fn new(factors: Vec<Matrix>) -> Result<Self> {
-        let first_rank = factors
-            .first()
-            .ok_or(TensorError::EmptyShape)?
-            .cols();
+        let first_rank = factors.first().ok_or(TensorError::EmptyShape)?.cols();
         for f in &factors {
             if f.cols() != first_rank {
                 return Err(TensorError::ShapeMismatch {

@@ -1,0 +1,539 @@
+//! Cached mode-ordered MTTKRP execution plans (CSF-lite).
+//!
+//! The COO kernel in [`crate::mttkrp`] walks the nonzeros in lexicographic
+//! order and scatters an `R`-vector into `out[idx[mode], :]` per entry —
+//! for every mode except the first that is a random-access write stream
+//! over the output. [`MttkrpPlan`] trades one preprocessing pass for a
+//! compressed per-mode layout:
+//!
+//! * entries are permuted into **output-row order** for every mode
+//!   (stable counting sort, so same-row entries keep their lexicographic
+//!   order — accumulation order per row is unchanged);
+//! * consecutive entries sharing an output row form a **run**; the kernel
+//!   accumulates a register-resident `R`-vector across the run and writes
+//!   each output row exactly once;
+//! * the `order−1` factor-row indices of every entry are flattened into a
+//!   contiguous `u32` column table, so the inner loop streams `vals`/`cols`
+//!   linearly instead of re-deriving coordinates.
+//!
+//! The plan depends only on the sparsity pattern — not on factor values or
+//! row counts — so one plan serves every iteration, mode, and factor
+//! snapshot (including grown factor matrices with extra rows). The
+//! distributed driver builds one plan per grid cell at partitioning time
+//! and reuses it across a whole stream step; [`fingerprint`] gives the
+//! content key used to carry plans across steps.
+
+use crate::coo::SparseTensor;
+use crate::error::{Result, TensorError};
+use crate::matrix::Matrix;
+
+/// Compressed execution layout for one mode: entries sorted by output row
+/// with run boundaries.
+#[derive(Debug, Clone)]
+struct ModePlan {
+    /// Output row of each run (strictly increasing).
+    rows: Vec<u32>,
+    /// `run_ptr[i]..run_ptr[i+1]` is run `i`'s entry range in `vals`/`cols`.
+    run_ptr: Vec<u32>,
+    /// Entry values, permuted into output-row order.
+    vals: Vec<f64>,
+    /// Per entry, the `order−1` factor-row indices of the other modes in
+    /// ascending mode order.
+    cols: Vec<u32>,
+}
+
+/// Reusable all-modes MTTKRP plan for one sparse tensor.
+#[derive(Debug, Clone)]
+pub struct MttkrpPlan {
+    shape: Vec<usize>,
+    nnz: usize,
+    modes: Vec<ModePlan>,
+}
+
+impl MttkrpPlan {
+    /// Builds the per-mode layouts with one stable counting sort per mode.
+    pub fn build(tensor: &SparseTensor) -> Self {
+        let order = tensor.order();
+        let modes = (0..order).map(|m| build_mode(tensor, m)).collect();
+        MttkrpPlan {
+            shape: tensor.shape().to_vec(),
+            nnz: tensor.nnz(),
+            modes,
+        }
+    }
+
+    /// Shape of the tensor the plan was built from.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Nonzeros covered by the plan.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Tensor order.
+    pub fn order(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Heap bytes held by the layout tables (capacity accounting).
+    pub fn layout_bytes(&self) -> usize {
+        self.modes
+            .iter()
+            .map(|m| {
+                m.rows.capacity() * 4
+                    + m.run_ptr.capacity() * 4
+                    + m.vals.capacity() * 8
+                    + m.cols.capacity() * 4
+            })
+            .sum()
+    }
+
+    /// Computes the mode-`mode` MTTKRP into a fresh zeroed matrix of
+    /// `factors[mode].rows()` rows.
+    ///
+    /// # Errors
+    /// Returns a shape error if `factors` disagree with the plan.
+    pub fn mttkrp(&self, factors: &[Matrix], mode: usize) -> Result<Matrix> {
+        let r = self.check_factors(factors, mode)?;
+        let mut out = Matrix::zeros(factors[mode].rows(), r);
+        self.mttkrp_into(factors, mode, &mut out)?;
+        Ok(out)
+    }
+
+    /// Accumulates the mode-`mode` MTTKRP into `out` (`out +=`), adding one
+    /// run total per touched output row.
+    ///
+    /// On a zeroed `out` the result is bitwise identical to
+    /// [`crate::mttkrp::mttkrp_into`]: the stable permutation preserves the
+    /// per-row accumulation order and the factor product is formed in the
+    /// same ascending mode order.
+    ///
+    /// # Errors
+    /// Returns a shape error if `factors` or `out` disagree with the plan.
+    pub fn mttkrp_into(&self, factors: &[Matrix], mode: usize, out: &mut Matrix) -> Result<()> {
+        let r = self.check_factors(factors, mode)?;
+        if out.shape() != (factors[mode].rows(), r) {
+            return Err(TensorError::ShapeMismatch {
+                op: "MttkrpPlan::mttkrp_into output",
+                left: vec![factors[mode].rows(), r],
+                right: vec![out.rows(), out.cols()],
+            });
+        }
+        let order = self.order();
+        let km = order - 1;
+        let mp = &self.modes[mode];
+        // Borrow the off-mode factors once, in ascending mode order.
+        let others: Vec<&Matrix> = (0..order)
+            .filter(|&k| k != mode)
+            .map(|k| &factors[k])
+            .collect();
+        // Per-entry work is fused into a single pass over the R lanes; the
+        // product is formed left-to-right in ascending mode order, so every
+        // partial is bit-identical to the COO kernel's multi-pass version.
+        let mut acc = vec![0.0f64; r];
+        let mut rows_scratch: Vec<&[f64]> = Vec::with_capacity(km);
+        for run in 0..mp.rows.len() {
+            let lo = mp.run_ptr[run] as usize;
+            let hi = mp.run_ptr[run + 1] as usize;
+            acc.fill(0.0);
+            match km {
+                1 => {
+                    let f0 = others[0];
+                    for e in lo..hi {
+                        let v = mp.vals[e];
+                        let a = f0.row(mp.cols[e] as usize);
+                        for (s, &av) in acc.iter_mut().zip(a) {
+                            *s += v * av;
+                        }
+                    }
+                }
+                2 => {
+                    let (f0, f1) = (others[0], others[1]);
+                    for e in lo..hi {
+                        let v = mp.vals[e];
+                        let a = f0.row(mp.cols[2 * e] as usize);
+                        let b = f1.row(mp.cols[2 * e + 1] as usize);
+                        for ((s, &av), &bv) in acc.iter_mut().zip(a).zip(b) {
+                            *s += v * av * bv;
+                        }
+                    }
+                }
+                3 => {
+                    let (f0, f1, f2) = (others[0], others[1], others[2]);
+                    for e in lo..hi {
+                        let v = mp.vals[e];
+                        let a = f0.row(mp.cols[3 * e] as usize);
+                        let b = f1.row(mp.cols[3 * e + 1] as usize);
+                        let c = f2.row(mp.cols[3 * e + 2] as usize);
+                        for (((s, &av), &bv), &cv) in acc.iter_mut().zip(a).zip(b).zip(c) {
+                            *s += v * av * bv * cv;
+                        }
+                    }
+                }
+                _ => {
+                    for e in lo..hi {
+                        let v = mp.vals[e];
+                        rows_scratch.clear();
+                        for (j, &col) in mp.cols[e * km..e * km + km].iter().enumerate() {
+                            rows_scratch.push(others[j].row(col as usize));
+                        }
+                        for (c, s) in acc.iter_mut().enumerate() {
+                            let mut p = v;
+                            for row in &rows_scratch {
+                                p *= row[c];
+                            }
+                            *s += p;
+                        }
+                    }
+                }
+            }
+            let dst = out.row_mut(mp.rows[run] as usize);
+            for (d, &a) in dst.iter_mut().zip(&acc) {
+                *d += a;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates `factors` against the plan, returning the rank.
+    fn check_factors(&self, factors: &[Matrix], mode: usize) -> Result<usize> {
+        if factors.len() != self.order() {
+            return Err(TensorError::ShapeMismatch {
+                op: "MttkrpPlan factors",
+                left: vec![self.order()],
+                right: vec![factors.len()],
+            });
+        }
+        if mode >= self.order() {
+            return Err(TensorError::InvalidMode {
+                mode,
+                order: self.order(),
+            });
+        }
+        let r = factors[0].cols();
+        for (k, f) in factors.iter().enumerate() {
+            if f.cols() != r {
+                return Err(TensorError::ShapeMismatch {
+                    op: "MttkrpPlan factor ranks",
+                    left: vec![r],
+                    right: vec![f.cols()],
+                });
+            }
+            if f.rows() < self.shape[k] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "MttkrpPlan factor rows",
+                    left: vec![self.shape[k]],
+                    right: vec![f.rows()],
+                });
+            }
+        }
+        Ok(r)
+    }
+}
+
+/// Stable counting sort of the entries by their mode-`mode` coordinate,
+/// flattened into the run/column tables.
+fn build_mode(tensor: &SparseTensor, mode: usize) -> ModePlan {
+    let order = tensor.order();
+    let km = order - 1;
+    let nnz = tensor.nnz();
+    let n_rows = tensor.shape()[mode];
+
+    let mut counts = vec![0u32; n_rows];
+    for e in 0..nnz {
+        counts[tensor.index(e)[mode]] += 1;
+    }
+    // Exclusive prefix sum → scatter offsets.
+    let mut offsets = vec![0u32; n_rows + 1];
+    for i in 0..n_rows {
+        offsets[i + 1] = offsets[i] + counts[i];
+    }
+    let mut cursor = offsets[..n_rows].to_vec();
+    let mut vals = vec![0.0f64; nnz];
+    let mut cols = vec![0u32; nnz * km];
+    for e in 0..nnz {
+        let idx = tensor.index(e);
+        let pos = cursor[idx[mode]] as usize;
+        cursor[idx[mode]] += 1;
+        vals[pos] = tensor.value(e);
+        let mut c = pos * km;
+        for (k, &i) in idx.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            cols[c] = i as u32;
+            c += 1;
+        }
+    }
+    // Compress non-empty rows into runs.
+    let populated = counts.iter().filter(|&&c| c > 0).count();
+    let mut rows = Vec::with_capacity(populated);
+    let mut run_ptr = Vec::with_capacity(populated + 1);
+    run_ptr.push(0);
+    for (row, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        rows.push(row as u32);
+        run_ptr.push(offsets[row + 1]);
+    }
+    ModePlan {
+        rows,
+        run_ptr,
+        vals,
+        cols,
+    }
+}
+
+/// Content fingerprint of a sparse tensor (FNV-1a over shape, indices, and
+/// value bits).  Two tensors with equal fingerprints are treated as
+/// identical by the distributed plan cache, so an unchanged grid cell
+/// reuses its plan across stream steps.
+pub fn fingerprint(tensor: &SparseTensor) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        // FNV-1a over the 8 bytes of x.
+        for shift in (0..64).step_by(8) {
+            h ^= (x >> shift) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(tensor.order() as u64);
+    for &s in tensor.shape() {
+        mix(s as u64);
+    }
+    for &i in tensor.indices_flat() {
+        mix(i as u64);
+    }
+    for &v in tensor.values() {
+        mix(v.to_bits());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::SparseTensorBuilder;
+    use crate::mttkrp::{mttkrp, mttkrp_into};
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_tensor(shape: &[usize], nnz: usize, rng: &mut impl Rng) -> SparseTensor {
+        let mut b = SparseTensorBuilder::new(shape.to_vec());
+        for _ in 0..nnz {
+            let idx: Vec<usize> = shape.iter().map(|&s| rng.gen_range(0..s)).collect();
+            b.push(&idx, rng.gen_range(-1.0..1.0)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_naive_bitwise_all_modes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let shape = [6, 5, 4];
+        let t = random_tensor(&shape, 60, &mut rng);
+        let factors: Vec<Matrix> = shape
+            .iter()
+            .map(|&s| Matrix::random(s, 3, &mut rng))
+            .collect();
+        let plan = MttkrpPlan::build(&t);
+        for mode in 0..3 {
+            let naive = mttkrp(&t, &factors, mode).unwrap();
+            let fast = plan.mttkrp(&factors, mode).unwrap();
+            assert_eq!(
+                fast.max_abs_diff(&naive).unwrap(),
+                0.0,
+                "mode {mode} not bitwise identical"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulates_like_naive_on_zeroed_buffers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let shape = [5, 4, 3, 2];
+        let t = random_tensor(&shape, 40, &mut rng);
+        let factors: Vec<Matrix> = shape
+            .iter()
+            .map(|&s| Matrix::random(s, 2, &mut rng))
+            .collect();
+        let plan = MttkrpPlan::build(&t);
+        for mode in 0..4 {
+            let mut a = Matrix::zeros(shape[mode], 2);
+            let mut b = Matrix::zeros(shape[mode], 2);
+            mttkrp_into(&t, &factors, mode, &mut a).unwrap();
+            plan.mttkrp_into(&factors, mode, &mut b).unwrap();
+            assert_eq!(a.max_abs_diff(&b).unwrap(), 0.0, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn oversized_factors_use_global_rows() {
+        // Plans outlive snapshot growth: the same plan works after the
+        // factors gain rows (global row space), exactly like the COO kernel.
+        let mut b = SparseTensorBuilder::new(vec![2, 2]);
+        b.push(&[1, 1], 2.0).unwrap();
+        let t = b.build().unwrap();
+        let plan = MttkrpPlan::build(&t);
+        let factors = vec![
+            Matrix::random(4, 2, &mut ChaCha8Rng::seed_from_u64(1)),
+            Matrix::random(5, 2, &mut ChaCha8Rng::seed_from_u64(2)),
+        ];
+        let fast = plan.mttkrp(&factors, 0).unwrap();
+        let naive = mttkrp(&t, &factors, 0).unwrap();
+        assert_eq!(fast.rows(), 4);
+        assert_eq!(fast.max_abs_diff(&naive).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_tensor_plan_is_a_noop() {
+        let t = SparseTensor::empty(vec![3, 4]).unwrap();
+        let plan = MttkrpPlan::build(&t);
+        assert_eq!(plan.nnz(), 0);
+        let factors = vec![Matrix::zeros(3, 2), Matrix::zeros(4, 2)];
+        let out = plan.mttkrp(&factors, 1).unwrap();
+        assert_eq!(out.frob_norm_sq(), 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = SparseTensor::empty(vec![3, 3]).unwrap();
+        let plan = MttkrpPlan::build(&t);
+        let good = vec![Matrix::zeros(3, 2), Matrix::zeros(3, 2)];
+        assert!(plan.mttkrp(&good, 2).is_err()); // bad mode
+        let short = vec![Matrix::zeros(2, 2), Matrix::zeros(3, 2)];
+        assert!(plan.mttkrp(&short, 0).is_err()); // too few rows
+        let ragged = vec![Matrix::zeros(3, 2), Matrix::zeros(3, 3)];
+        assert!(plan.mttkrp(&ragged, 0).is_err()); // rank mismatch
+        assert!(plan.mttkrp(&good[..1], 0).is_err()); // wrong count
+        let mut bad_out = Matrix::zeros(2, 2);
+        assert!(plan.mttkrp_into(&good, 0, &mut bad_out).is_err());
+    }
+
+    #[test]
+    fn fingerprint_separates_contents() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let a = random_tensor(&[4, 4, 4], 20, &mut rng);
+        let b = random_tensor(&[4, 4, 4], 20, &mut rng);
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        // Same pattern, one value changed.
+        let mut builder = SparseTensorBuilder::new(a.shape().to_vec());
+        for (e, (idx, v)) in a.iter().enumerate() {
+            builder.push(idx, if e == 0 { v + 1.0 } else { v }).unwrap();
+        }
+        let c = builder.build().unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        // Shape participates even with equal nonzeros.
+        let empty33 = SparseTensor::empty(vec![3, 3]).unwrap();
+        let empty34 = SparseTensor::empty(vec![3, 4]).unwrap();
+        assert_ne!(fingerprint(&empty33), fingerprint(&empty34));
+    }
+
+    #[test]
+    fn layout_bytes_reports_heap_use() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let t = random_tensor(&[6, 6, 6], 50, &mut rng);
+        let plan = MttkrpPlan::build(&t);
+        // 3 modes × (vals 8B + cols 2×4B) per entry is the floor.
+        assert!(plan.layout_bytes() >= t.nnz() * 3 * 16);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::coo::SparseTensorBuilder;
+    use crate::mttkrp::mttkrp;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::ops::Range;
+
+    /// Random MTTKRP problem: shape of order 3–5, entries, per-mode extra
+    /// factor rows (grown snapshot), a target mode, and a factor seed.
+    type Problem = (Vec<usize>, Vec<(Vec<usize>, f64)>, Vec<usize>, usize, u64);
+
+    fn problem_strategy() -> impl Strategy<Value = Problem> {
+        prop::collection::vec(1usize..5, 3..6).prop_flat_map(|shape| {
+            let order = shape.len();
+            let idx: Vec<Range<usize>> = shape.iter().map(|&s| 0..s).collect();
+            (
+                Just(shape),
+                prop::collection::vec((idx, -2.0f64..2.0), 0..30),
+                prop::collection::vec(0usize..3, order..order + 1),
+                0usize..order,
+                0u64..10_000,
+            )
+        })
+    }
+
+    fn build_problem(
+        shape: &[usize],
+        entries: &[(Vec<usize>, f64)],
+        extra: &[usize],
+        rank: usize,
+        seed: u64,
+    ) -> (SparseTensor, Vec<Matrix>) {
+        let mut b = SparseTensorBuilder::new(shape.to_vec());
+        for (idx, v) in entries {
+            b.push(idx, *v).unwrap();
+        }
+        let t = b.build().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let factors: Vec<Matrix> = shape
+            .iter()
+            .zip(extra)
+            .map(|(&s, &e)| Matrix::random(s + e, rank, &mut rng))
+            .collect();
+        (t, factors)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The layout kernel is bitwise identical to the COO kernel for
+        /// random tensors of orders 3–5, any mode, and oversized factors.
+        #[test]
+        fn layout_matches_naive_exactly(
+            (shape, entries, extra, mode, seed) in problem_strategy()
+        ) {
+            let (t, factors) = build_problem(&shape, &entries, &extra, 2, seed);
+            let plan = MttkrpPlan::build(&t);
+            let naive = mttkrp(&t, &factors, mode).unwrap();
+            let fast = plan.mttkrp(&factors, mode).unwrap();
+            prop_assert_eq!(fast.max_abs_diff(&naive).unwrap(), 0.0);
+        }
+
+        /// A plan built before a snapshot grow stays exact when reused with
+        /// the grown factor matrices (more global rows, same nonzeros).
+        #[test]
+        fn plan_reuse_after_grow_stays_exact(
+            (shape, entries, extra, mode, seed) in problem_strategy()
+        ) {
+            let (t, factors) = build_problem(&shape, &entries, &extra, 3, seed);
+            let plan = MttkrpPlan::build(&t);
+            // First use, pre-grow.
+            let before = plan.mttkrp(&factors, mode).unwrap();
+            prop_assert_eq!(
+                before.max_abs_diff(&mttkrp(&t, &factors, mode).unwrap()).unwrap(),
+                0.0
+            );
+            // Snapshot grows: every factor gains rows; the cell (and its
+            // plan) is unchanged.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdead_beef);
+            let grown: Vec<Matrix> = factors
+                .iter()
+                .map(|f| f.vstack(&Matrix::random(2, f.cols(), &mut rng)).unwrap())
+                .collect();
+            let naive = mttkrp(&t, &grown, mode).unwrap();
+            let fast = plan.mttkrp(&grown, mode).unwrap();
+            prop_assert_eq!(fast.max_abs_diff(&naive).unwrap(), 0.0);
+            prop_assert_eq!(fast.rows(), factors[mode].rows() + 2);
+        }
+    }
+}

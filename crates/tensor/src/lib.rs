@@ -25,6 +25,7 @@ pub mod coo;
 pub mod dense;
 pub mod error;
 pub mod kruskal;
+pub mod layout;
 pub mod linalg;
 pub mod matrix;
 pub mod mttkrp;
@@ -34,6 +35,7 @@ pub use coo::{SparseTensor, SparseTensorBuilder};
 pub use dense::DenseTensor;
 pub use error::{Result, TensorError};
 pub use kruskal::KruskalTensor;
+pub use layout::MttkrpPlan;
 pub use matrix::Matrix;
 
 #[cfg(test)]
@@ -52,15 +54,9 @@ mod proptests {
 
     fn tensor_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<(Vec<usize>, f64)>)> {
         shape_strategy().prop_flat_map(|shape| {
-            let idx = shape
-                .iter()
-                .map(|&s| 0usize..s)
-                .collect::<Vec<_>>();
+            let idx = shape.iter().map(|&s| 0usize..s).collect::<Vec<_>>();
             let entry = (idx, -2.0f64..2.0);
-            (
-                Just(shape),
-                prop::collection::vec(entry, 0..20),
-            )
+            (Just(shape), prop::collection::vec(entry, 0..20))
         })
     }
 

@@ -70,9 +70,13 @@ pub fn lu_decompose(m: &Matrix) -> Result<(Matrix, Vec<usize>)> {
     let mut perm: Vec<usize> = (0..n).collect();
     for col in 0..n {
         // Partial pivoting: pick the largest remaining entry in this column.
-        let (pivot_row, pivot_val) = (col..n)
-            .map(|r| (r, lu.get(r, col).abs()))
-            .fold((col, 0.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+        let (pivot_row, pivot_val) =
+            (col..n)
+                .map(|r| (r, lu.get(r, col).abs()))
+                .fold(
+                    (col, 0.0),
+                    |best, cur| if cur.1 > best.1 { cur } else { best },
+                );
         if pivot_val < 1e-300 || !pivot_val.is_finite() {
             return Err(TensorError::Singular { solver: "lu" });
         }

@@ -67,7 +67,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix whose entry `(i, j)` is `f(i, j)`.

@@ -216,8 +216,10 @@ mod tests {
         let mut b = SparseTensorBuilder::new(vec![2, 2]);
         b.push(&[1, 1], 2.0).unwrap();
         let t = b.build().unwrap();
-        let factors = vec![Matrix::random(4, 2, &mut ChaCha8Rng::seed_from_u64(1)),
-                           Matrix::random(5, 2, &mut ChaCha8Rng::seed_from_u64(2))];
+        let factors = vec![
+            Matrix::random(4, 2, &mut ChaCha8Rng::seed_from_u64(1)),
+            Matrix::random(5, 2, &mut ChaCha8Rng::seed_from_u64(2)),
+        ];
         let out = mttkrp(&t, &factors, 0).unwrap();
         assert_eq!(out.rows(), 4);
         assert_eq!(out.row(0), &[0.0, 0.0]);

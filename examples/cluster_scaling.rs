@@ -25,8 +25,8 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     let new_shape = [600usize, 500, 200];
     let old_shape = [450usize, 375, 150];
-    let full = zipf_tensor(&new_shape, 60_000, &[1.0, 1.0, 0.7], &mut rng)
-        .expect("feasible density");
+    let full =
+        zipf_tensor(&new_shape, 60_000, &[1.0, 1.0, 0.7], &mut rng).expect("feasible density");
     let complement = full.complement(&old_shape).expect("old box fits");
 
     // Previous factors: pretend the old box was already decomposed.
@@ -50,8 +50,8 @@ fn main() {
     for &workers in &[1usize, 2, 4, 8] {
         for p in [Partitioner::Gtp, Partitioner::Mtp] {
             let cluster = ClusterConfig::new(workers).with_partitioner(p);
-            let out = dismastd(&complement, &old_factors, &cfg, &cluster)
-                .expect("decomposition runs");
+            let out =
+                dismastd(&complement, &old_factors, &cfg, &cluster).expect("decomposition runs");
             println!(
                 "{:>7}  {:>6}  {:>9.2?}  {:>10.1}  {:>11}",
                 workers,
@@ -70,8 +70,8 @@ fn main() {
             let cluster = ClusterConfig::new(4)
                 .with_partitioner(p)
                 .with_parts_per_mode(vec![parts; 3]);
-            let out = dismastd(&complement, &old_factors, &cfg, &cluster)
-                .expect("decomposition runs");
+            let out =
+                dismastd(&complement, &old_factors, &cfg, &cluster).expect("decomposition runs");
             // Re-derive the placement to report the load balance it gave.
             let grid = GridPartition::build(&complement, p, &[parts; 3], 4)
                 .expect("partitioning succeeds");

@@ -34,7 +34,10 @@ fn main() {
         let t = uniform_tensor(&[60, 50, 40], 5_000, &mut rng).expect("feasible");
         let f = File::create(&path).expect("temp file writable");
         write_coo_text(&t, f).expect("writes");
-        println!("(no input given — demo tensor written to {})", path.display());
+        println!(
+            "(no input given — demo tensor written to {})",
+            path.display()
+        );
         path
     });
 
@@ -73,9 +76,7 @@ fn main() {
     };
     let elapsed = start.elapsed();
     let fit = kruskal.fit(&tensor).expect("non-zero tensor");
-    println!(
-        "rank-{rank} CP decomposition: {iterations} iterations, fit {fit:.4}, {elapsed:.2?}"
-    );
+    println!("rank-{rank} CP decomposition: {iterations} iterations, fit {fit:.4}, {elapsed:.2?}");
     if let Some(c) = comm {
         println!(
             "cluster traffic: {:.1} KB in {} messages, {} collectives",
@@ -90,8 +91,13 @@ fn main() {
     let weights = normalised.normalize_columns();
     let mut ranked: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-    println!("component weights (desc): {:?}",
-        ranked.iter().map(|(_, w)| (w * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "component weights (desc): {:?}",
+        ranked
+            .iter()
+            .map(|(_, w)| (w * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
 
     let out_path = input.with_extension("factors.json");
     let json = serde_json::to_string(&kruskal).expect("factors serialise");
@@ -109,14 +115,10 @@ fn parse_args(args: &[String]) -> (Option<PathBuf>, usize, Option<usize>) {
         match args[i].as_str() {
             "--distributed" => {
                 i += 1;
-                workers = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--distributed needs a worker count");
-                            std::process::exit(2);
-                        }),
-                );
+                workers = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--distributed needs a worker count");
+                    std::process::exit(2);
+                }));
             }
             other => {
                 match positional {

@@ -30,14 +30,14 @@ const BATCH: usize = 2_000;
 fn main() {
     // 1. The event stream: 90 users x 70 items x 40 days at full size.
     let mut rng = ChaCha8Rng::seed_from_u64(123);
-    let log = EventLog::synthetic_growth(&[90, 70, 40], TOTAL_EVENTS, &[0.8, 0.8, 0.3], 1.0, &mut rng)
-        .expect("valid generator parameters");
+    let log =
+        EventLog::synthetic_growth(&[90, 70, 40], TOTAL_EVENTS, &[0.8, 0.8, 0.3], 1.0, &mut rng)
+            .expect("valid generator parameters");
 
     // 2. Rank selection on the first batch.
     let first = log.snapshot_after(BATCH).expect("snapshot builds");
     let base = DecompConfig::default().with_max_iters(15);
-    let search = select_rank(&first, &[2, 4, 8, 12], &base, 0.002)
-        .expect("rank search runs");
+    let search = select_rank(&first, &[2, 4, 8, 12], &base, 0.002).expect("rank search runs");
     println!("rank search on the first {BATCH} events:");
     for (r, fit) in &search.evaluated {
         println!("  rank {r:>2}: fit {fit:.4}");
@@ -52,7 +52,9 @@ fn main() {
     let mut cut = BATCH;
     while prev_cut < TOTAL_EVENTS {
         let snapshot = log.snapshot_after(cut).expect("snapshot builds");
-        let report = session.ingest(&snapshot).expect("shapes grow monotonically");
+        let report = session
+            .ingest(&snapshot)
+            .expect("shapes grow monotonically");
         let in_box = log.in_box_events(prev_cut, cut);
         println!(
             "{:>5}  {:<15} {:>7} {:>10} {:>7}  {:.4}",

@@ -43,7 +43,11 @@ fn main() {
             report.iterations,
             report.fit,
             report.time_per_iter,
-            if report.cold_start { "  (cold start)" } else { "" },
+            if report.cold_start {
+                "  (cold start)"
+            } else {
+                ""
+            },
         );
     }
 

@@ -128,8 +128,14 @@ fn main() {
 
         println!(
             "{:>4}  {:>3} x {:>3} x {:>3}     {:>7}  {:>9}  {:.4}  {:?}",
-            report.step, u, p, d, report.snapshot_nnz, report.processed_nnz,
-            report.fit, report.elapsed,
+            report.step,
+            u,
+            p,
+            d,
+            report.snapshot_nnz,
+            report.processed_nnz,
+            report.fit,
+            report.elapsed,
         );
     }
 

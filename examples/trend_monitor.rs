@@ -72,16 +72,27 @@ fn top_indices(col: usize, factor: &dismastd_tensor::Matrix, k: usize) -> Vec<us
 fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     let trends = vec![
-        Trend { accounts: 10..30, topics: 5..15, hours: 6..14, intensity: 8.0 },
-        Trend { accounts: 120..150, topics: 40..52, hours: 20..30, intensity: 7.0 },
-        Trend { accounts: 220..260, topics: 80..95, hours: 34..44, intensity: 9.0 },
+        Trend {
+            accounts: 10..30,
+            topics: 5..15,
+            hours: 6..14,
+            intensity: 8.0,
+        },
+        Trend {
+            accounts: 120..150,
+            topics: 40..52,
+            hours: 20..30,
+            intensity: 7.0,
+        },
+        Trend {
+            accounts: 220..260,
+            topics: 80..95,
+            hours: 34..44,
+            intensity: 9.0,
+        },
     ];
     let full = build_full_tensor(&trends, &mut rng);
-    println!(
-        "activity tensor: {:?}, {} events",
-        full.shape(),
-        full.nnz()
-    );
+    println!("activity tensor: {:?}, {} events", full.shape(), full.nnz());
 
     // Stream it over a 4-worker simulated cluster with MTP partitioning
     // (the skew-robust heuristic — background chatter is Zipf-skewed).
@@ -145,7 +156,11 @@ fn main() {
             t.accounts,
             t.topics,
             t.hours,
-            if recovered { "RECOVERED" } else { "not clearly separated" }
+            if recovered {
+                "RECOVERED"
+            } else {
+                "not clearly separated"
+            }
         );
     }
 }

@@ -13,8 +13,8 @@ fn paper_pipeline_on_scaled_netflix() {
     // Generate the Netflix-like profile, stream it 75% → 100%, and check
     // the session's invariants at each step.
     let full = DatasetSpec::netflix(0.08).generate().expect("generates");
-    let seq = StreamSequence::cut(&full, &StreamSequence::paper_fractions())
-        .expect("valid schedule");
+    let seq =
+        StreamSequence::cut(&full, &StreamSequence::paper_fractions()).expect("valid schedule");
     let cfg = DecompConfig::default().with_rank(5).with_max_iters(8);
     let mut session = StreamingSession::new(cfg, ExecutionMode::Serial);
 
@@ -77,7 +77,10 @@ fn streaming_tracks_an_evolving_low_rank_signal() {
         final_fit > scratch_fit - 0.1,
         "streaming fit {final_fit} far below from-scratch fit {scratch_fit}"
     );
-    assert!(final_fit > 0.8, "low-rank signal should be fit well: {final_fit}");
+    assert!(
+        final_fit > 0.8,
+        "low-rank signal should be fit well: {final_fit}"
+    );
 }
 
 #[test]

@@ -39,11 +39,7 @@ pub fn random_complement(
 }
 
 /// Random factor matrices for a given shape and rank.
-pub fn random_factors(
-    shape: &[usize],
-    rank: usize,
-    seed: u64,
-) -> Vec<dismastd_tensor::Matrix> {
+pub fn random_factors(shape: &[usize], rank: usize, seed: u64) -> Vec<dismastd_tensor::Matrix> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     shape
         .iter()

@@ -54,8 +54,16 @@ fn gtp_and_mtp_are_close_on_uniform_profile() {
             let m = mtp(&hist, p).balance(&hist);
             // Slice granularity (≈75 slices over up to 23 partitions) bounds
             // how even any slice-level partition can be.
-            assert!(g.cv < 0.12, "GTP CV {} too high on uniform data (p={p})", g.cv);
-            assert!(m.cv < 0.12, "MTP CV {} too high on uniform data (p={p})", m.cv);
+            assert!(
+                g.cv < 0.12,
+                "GTP CV {} too high on uniform data (p={p})",
+                g.cv
+            );
+            assert!(
+                m.cv < 0.12,
+                "MTP CV {} too high on uniform data (p={p})",
+                m.cv
+            );
             // And the two heuristics are comparable (no Table-IV-style gap).
             assert!(
                 m.cv <= g.cv + 0.02,
@@ -94,13 +102,8 @@ fn grid_placement_covers_all_profiles() {
         let t = spec.generate().expect("generates");
         for p in [Partitioner::Gtp, Partitioner::Mtp] {
             for workers in [2usize, 5] {
-                let grid = GridPartition::build(
-                    &t,
-                    p,
-                    &vec![workers; t.order()],
-                    workers,
-                )
-                .expect("builds");
+                let grid = GridPartition::build(&t, p, &vec![workers; t.order()], workers)
+                    .expect("builds");
                 let loads = grid.worker_loads(&t);
                 assert_eq!(
                     loads.iter().sum::<u64>(),

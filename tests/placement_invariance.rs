@@ -112,6 +112,6 @@ fn stress_long_distributed_stream() {
     let k = session.factors().expect("stream ingested");
     assert_eq!(k.shape(), full.shape().to_vec());
     // Prediction works on the final model.
-    let mut sess2 = session;
+    let sess2 = session;
     assert!(sess2.predict(&[0, 0, 0]).expect("in range").is_finite());
 }

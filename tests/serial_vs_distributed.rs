@@ -120,7 +120,10 @@ fn convergence_decision_is_consistent_distributed() {
     let serial = dtd(&x, &old, &cfg).expect("serial");
     let dist = dismastd(&x, &old, &cfg, &ClusterConfig::new(3)).expect("dist");
     assert_eq!(serial.iterations, dist.iterations);
-    assert!(serial.iterations < 30, "tolerance should trigger early stop");
+    assert!(
+        serial.iterations < 30,
+        "tolerance should trigger early stop"
+    );
 }
 
 #[test]

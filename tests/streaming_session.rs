@@ -15,10 +15,7 @@ fn serial_and_distributed_sessions_agree_on_loss() {
     let seq = StreamSequence::cut(&full, &StreamSequence::paper_fractions()).expect("cuts");
 
     let mut serial = StreamingSession::new(cfg(), ExecutionMode::Serial);
-    let mut dist = StreamingSession::new(
-        cfg(),
-        ExecutionMode::Distributed(ClusterConfig::new(3)),
-    );
+    let mut dist = StreamingSession::new(cfg(), ExecutionMode::Distributed(ClusterConfig::new(3)));
     for snap in seq.iter() {
         let rs = serial.ingest(snap).expect("serial ingest");
         let rd = dist.ingest(snap).expect("distributed ingest");

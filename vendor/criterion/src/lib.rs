@@ -1,0 +1,397 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the subset of the criterion 0.5 API this workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros) but with a much lighter
+//! measurement protocol: one calibration pass sizes the iteration count,
+//! then a fixed number of timed samples produce a median ns/iter.
+//!
+//! Every run writes a JSON summary to `bench_results/<bench-name>.json`
+//! under the repository root (nearest ancestor with a `.git`), so results
+//! land in one place regardless of the working directory cargo picks.
+
+use std::fmt::Display;
+use std::hint::black_box as hint_black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Per-benchmark throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group supplies the prefix).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` as one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One measured benchmark, as it lands in the JSON summary.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/bench/param`).
+    pub id: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Elements (or bytes) per second when a throughput was declared.
+    pub throughput_per_sec: Option<f64>,
+}
+
+/// Benchmark driver; collects [`BenchRecord`]s as benches run.
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            records: Vec::new(),
+            // 10 samples of ~20 ms keeps a full bench binary in seconds
+            // while flattening scheduler noise enough for ratio claims.
+            sample_size: 10,
+            target_sample: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_string(), None, sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            name: name.to_string(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Consumes the driver, returning everything measured.
+    pub fn into_records(self) -> Vec<BenchRecord> {
+        self.records
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: one iteration to size the sample loop.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter_ns = b.elapsed.as_nanos().max(1);
+        let iters = (self.target_sample.as_nanos() / per_iter_ns).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples_ns[samples_ns.len() / 2];
+
+        let throughput_per_sec = throughput.map(|t| {
+            let per_iter = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            per_iter / (median * 1e-9)
+        });
+
+        println!("{id:<48} time: [{}]", format_ns(median));
+        self.records.push(BenchRecord {
+            id,
+            ns_per_iter: median,
+            iters_per_sample: iters,
+            samples: sample_size,
+            throughput_per_sec,
+        });
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion
+            .run_one(full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(full, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (bookkeeping only in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Escapes a string for embedding in JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Locates `<repo root>/bench_results`, falling back to `./bench_results`.
+fn summary_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join(".git").exists() {
+            return dir.join("bench_results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("bench_results");
+        }
+    }
+}
+
+/// Derives the summary file stem from the bench binary name, dropping
+/// cargo's trailing `-<16 hex>` disambiguator.
+fn bench_stem() -> String {
+    let argv0 = std::env::args().next().unwrap_or_else(|| "bench".into());
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    if let Some((head, tail)) = stem.rsplit_once('-') {
+        if tail.len() == 16 && tail.chars().all(|c| c.is_ascii_hexdigit()) {
+            return head.to_string();
+        }
+    }
+    stem
+}
+
+/// Writes all records as `bench_results/<bench>.json`.  Called by
+/// `criterion_main!` after every group has run.
+pub fn write_summary(records: &[BenchRecord]) {
+    let dir = summary_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let mut body = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.3}, \
+             \"iters_per_sample\": {}, \"samples\": {}",
+            json_escape(&r.id),
+            r.ns_per_iter,
+            r.iters_per_sample,
+            r.samples,
+        ));
+        if let Some(tp) = r.throughput_per_sec {
+            body.push_str(&format!(", \"throughput_per_sec\": {tp:.3}"));
+        }
+        body.push('}');
+    }
+    body.push_str("\n  ]\n}\n");
+    let path = dir.join(format!("{}.json", bench_stem()));
+    if std::fs::write(&path, body).is_ok() {
+        println!("summary written to {}", path.display());
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() -> Vec<$crate::BenchRecord> {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.into_records()
+        }
+    };
+}
+
+/// Declares `main`, running every group and writing the JSON summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut all: Vec<$crate::BenchRecord> = Vec::new();
+            $( all.extend($group()); )+
+            $crate::write_summary(&all);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(40).id, "40");
+    }
+
+    #[test]
+    fn measurement_produces_sane_numbers() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        group.finish();
+        let records = c.into_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, "t/spin");
+        assert!(records[0].ns_per_iter > 0.0);
+        assert!(records[0].throughput_per_sec.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stem_strips_cargo_hash() {
+        // Indirect check of the rsplit logic via a local copy.
+        let stem = "mttkrp-0123456789abcdef";
+        let (head, tail) = stem.rsplit_once('-').unwrap();
+        assert_eq!(head, "mttkrp");
+        assert!(tail.len() == 16 && tail.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::channel::{unbounded, Sender,
+//! Receiver}` for MPSC message passing, which `std::sync::mpsc` covers.
+//! `std`'s `Receiver` is `!Sync` (single consumer), but the cluster
+//! runtime moves each receiver into exactly one worker thread, so the
+//! narrower type suffices.
+
+/// Multi-producer channels (subset of `crossbeam-channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half (clonable).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// Receiving half (single consumer).
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        let h1 = std::thread::spawn(move || tx.send(1).unwrap());
+        let h2 = std::thread::spawn(move || tx2.send(2).unwrap());
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote`) derive macros targeting the vendored
+//! `serde` crate's `Value` data model.  Supported input shapes — exactly
+//! what this workspace uses:
+//!
+//! * non-generic structs with named fields
+//! * non-generic enums whose variants are unit or newtype
+//!
+//! Generated code is built as a source string and re-parsed, which keeps
+//! the macro free of dependencies.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive input.
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// true ⇒ newtype variant `Name(T)`, false ⇒ unit variant `Name`.
+    newtype: bool,
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // '#' then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic types are not supported (type `{name}`)");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("vendored serde_derive: `{name}` must have a braced body"),
+    };
+
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            fields: parse_struct_fields(body),
+        },
+        "enum" => Input::Enum {
+            name,
+            variants: parse_enum_variants(body),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Extracts field names from a named-struct body.  Commas inside angle
+/// brackets (e.g. `BTreeMap<String, f64>`) are not separators, so the
+/// scan tracks `<`/`>` depth.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected field name, got {other}"),
+        };
+        fields.push(fname);
+        // Skip to the comma terminating this field, at angle depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let newtype = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                true
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("vendored serde_derive: struct variants unsupported (variant `{vname}`)")
+            }
+            _ => false,
+        };
+        variants.push(Variant {
+            name: vname,
+            newtype,
+        });
+        // Consume trailing comma if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    if v.newtype {
+                        format!(
+                            "{name}::{vn}(inner) => serde::Value::Object(vec![(\"{vn}\"\
+                             .to_string(), serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),")
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::field(obj, \"{f}\")?)?,")
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| \
+                             serde::DeError::new(\"expected object for `{name}`\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| !v.newtype)
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(serde::DeError::new(format!(\n\
+                                     \"unknown variant `{{other}}` for `{name}`\"))),\n\
+                             }},\n\
+                             serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                                 let (key, inner) = &fields[0];\n\
+                                 let _ = inner;\n\
+                                 match key.as_str() {{\n\
+                                     {newtype_arms}\n\
+                                     other => Err(serde::DeError::new(format!(\n\
+                                         \"unknown variant `{{other}}` for `{name}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(serde::DeError::new(\n\
+                                 \"expected string or single-key object for `{name}`\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("generated Deserialize impl parses")
+}
