@@ -18,6 +18,7 @@ fn bench_allreduce(c: &mut Criterion) {
                     }
                     buf[0]
                 })
+                .unwrap()
             })
         });
     }
@@ -36,6 +37,7 @@ fn bench_exchange(c: &mut Criterion) {
                     let incoming = ctx.exchange(outgoing);
                     incoming.len()
                 })
+                .unwrap()
             })
         });
     }
@@ -49,7 +51,7 @@ fn bench_spawn_overhead(c: &mut Criterion) {
     group.sample_size(20);
     for &workers in &[1usize, 4, 15] {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| Cluster::run(w, |ctx| ctx.rank()))
+            b.iter(|| Cluster::run(w, |ctx| ctx.rank()).unwrap())
         });
     }
     group.finish();
@@ -96,6 +98,7 @@ fn bench_pooled_payloads(c: &mut Criterion) {
                     }
                     total
                 })
+                .unwrap()
             })
         });
     }

@@ -1,5 +1,6 @@
 //! Message payloads and communication accounting.
 
+use crate::error::{ClusterError, ClusterResult};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -32,24 +33,58 @@ impl Payload {
         }
     }
 
+    /// Name of the payload variant (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::F64(_) => "F64",
+            Payload::U64(_) => "U64",
+            Payload::Bytes(_) => "Bytes",
+            Payload::Empty => "Empty",
+        }
+    }
+
+    /// Unwraps an `F64` payload, surfacing a protocol mismatch as a typed
+    /// [`ClusterError::TypeMismatch`] instead of a receive-path panic.
+    ///
+    /// # Errors
+    /// Returns `TypeMismatch` when the payload has a different variant.
+    pub fn try_into_f64(self) -> ClusterResult<Vec<f64>> {
+        match self {
+            Payload::F64(v) => Ok(v),
+            other => Err(ClusterError::TypeMismatch {
+                expected: "F64".into(),
+                found: other.kind().into(),
+            }),
+        }
+    }
+
+    /// Unwraps a `U64` payload (typed error on mismatch, as above).
+    ///
+    /// # Errors
+    /// Returns `TypeMismatch` when the payload has a different variant.
+    pub fn try_into_u64(self) -> ClusterResult<Vec<u64>> {
+        match self {
+            Payload::U64(v) => Ok(v),
+            other => Err(ClusterError::TypeMismatch {
+                expected: "U64".into(),
+                found: other.kind().into(),
+            }),
+        }
+    }
+
     /// Unwraps an `F64` payload.
     ///
     /// # Panics
     /// Panics when the payload has a different type — a protocol bug, not a
-    /// runtime condition.
+    /// runtime condition.  Fault-tolerant code paths use
+    /// [`Payload::try_into_f64`] instead.
     pub fn into_f64(self) -> Vec<f64> {
-        match self {
-            Payload::F64(v) => v,
-            other => panic!("expected F64 payload, got {other:?}"),
-        }
+        self.try_into_f64().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Unwraps a `U64` payload (panics on type mismatch, as above).
     pub fn into_u64(self) -> Vec<u64> {
-        match self {
-            Payload::U64(v) => v,
-            other => panic!("expected U64 payload, got {other:?}"),
-        }
+        self.try_into_u64().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -64,6 +99,13 @@ pub struct CommStats {
     bytes: AtomicU64,
     messages: AtomicU64,
     collectives: AtomicU64,
+    /// Extra wire copies caused by injected drops/duplicates.  Kept apart
+    /// from `bytes`/`messages` so logical traffic totals stay explainable
+    /// (and bit-identical to a fault-free run) under fault injection.
+    retransmits: AtomicU64,
+    retransmit_bytes: AtomicU64,
+    /// Spurious duplicates the receive path discarded.
+    duplicates_suppressed: AtomicU64,
     /// Bytes sent per worker rank (empty when built via `new`).
     bytes_by_sender: Vec<AtomicU64>,
 }
@@ -101,12 +143,28 @@ impl CommStats {
         self.collectives.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one extra wire copy (a retransmission after an injected
+    /// drop, or a spurious duplicate send).  Does **not** touch the
+    /// logical `bytes`/`messages` totals.
+    pub fn record_retransmit(&self, bytes: u64) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+        self.retransmit_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a duplicate message discarded on the receive path.
+    pub fn record_duplicate_suppressed(&self) {
+        self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent point-in-time copy of the counters.
     pub fn snapshot(&self) -> CommStatsSnapshot {
         CommStatsSnapshot {
             bytes: self.bytes.load(Ordering::Relaxed),
             messages: self.messages.load(Ordering::Relaxed),
             collectives: self.collectives.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            retransmit_bytes: self.retransmit_bytes.load(Ordering::Relaxed),
+            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
             bytes_by_sender: self
                 .bytes_by_sender
                 .iter()
@@ -120,6 +178,9 @@ impl CommStats {
         self.bytes.store(0, Ordering::Relaxed);
         self.messages.store(0, Ordering::Relaxed);
         self.collectives.store(0, Ordering::Relaxed);
+        self.retransmits.store(0, Ordering::Relaxed);
+        self.retransmit_bytes.store(0, Ordering::Relaxed);
+        self.duplicates_suppressed.store(0, Ordering::Relaxed);
         for c in &self.bytes_by_sender {
             c.store(0, Ordering::Relaxed);
         }
@@ -216,6 +277,14 @@ pub struct CommStatsSnapshot {
     pub messages: u64,
     /// Number of collective operations entered.
     pub collectives: u64,
+    /// Extra wire copies injected by a fault plan (retransmissions after
+    /// drops, spurious duplicates).  Zero in fault-free runs.
+    pub retransmits: u64,
+    /// Payload bytes of those extra copies (wire bytes = `bytes` +
+    /// `retransmit_bytes`).
+    pub retransmit_bytes: u64,
+    /// Duplicate deliveries the receive path suppressed.
+    pub duplicates_suppressed: u64,
     /// Bytes sent per worker rank (empty unless the stats were created
     /// with [`CommStats::with_world`]).
     pub bytes_by_sender: Vec<u64>,
@@ -228,12 +297,32 @@ impl CommStatsSnapshot {
             bytes: self.bytes - earlier.bytes,
             messages: self.messages - earlier.messages,
             collectives: self.collectives - earlier.collectives,
+            retransmits: self.retransmits - earlier.retransmits,
+            retransmit_bytes: self.retransmit_bytes - earlier.retransmit_bytes,
+            duplicates_suppressed: self.duplicates_suppressed - earlier.duplicates_suppressed,
             bytes_by_sender: self
                 .bytes_by_sender
                 .iter()
                 .zip(earlier.bytes_by_sender.iter().chain(std::iter::repeat(&0)))
                 .map(|(a, b)| a - b)
                 .collect(),
+        }
+    }
+
+    /// Accumulates another snapshot into this one (the streaming session
+    /// uses this to keep lifetime totals across steps for checkpoints).
+    pub fn merge(&mut self, other: &CommStatsSnapshot) {
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+        self.collectives += other.collectives;
+        self.retransmits += other.retransmits;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        if self.bytes_by_sender.len() < other.bytes_by_sender.len() {
+            self.bytes_by_sender.resize(other.bytes_by_sender.len(), 0);
+        }
+        for (a, b) in self.bytes_by_sender.iter_mut().zip(&other.bytes_by_sender) {
+            *a += b;
         }
     }
 
@@ -303,6 +392,103 @@ mod tests {
         assert_eq!(d.messages, 1);
         s.reset();
         assert_eq!(s.snapshot(), CommStatsSnapshot::default());
+    }
+
+    #[test]
+    fn bytes_and_empty_payload_size_accounting() {
+        // Bytes payloads report their exact length, Empty reports zero —
+        // including the degenerate zero-length blob.
+        assert_eq!(
+            Payload::Bytes(bytes::Bytes::from(vec![0u8; 1000])).size_bytes(),
+            1000
+        );
+        assert_eq!(
+            Payload::Bytes(bytes::Bytes::from(Vec::new())).size_bytes(),
+            0
+        );
+        assert_eq!(Payload::Empty.size_bytes(), 0);
+        // Cloning a Bytes payload must not change its accounted size.
+        let b = Payload::Bytes(bytes::Bytes::from_static(b"wire"));
+        assert_eq!(b.clone().size_bytes(), b.size_bytes());
+    }
+
+    #[test]
+    fn payload_kind_and_try_unwrap() {
+        assert_eq!(Payload::F64(vec![1.0]).kind(), "F64");
+        assert_eq!(Payload::U64(vec![1]).kind(), "U64");
+        assert_eq!(
+            Payload::Bytes(bytes::Bytes::from_static(b"x")).kind(),
+            "Bytes"
+        );
+        assert_eq!(Payload::Empty.kind(), "Empty");
+        assert_eq!(Payload::F64(vec![2.0]).try_into_f64().unwrap(), vec![2.0]);
+        assert_eq!(Payload::U64(vec![3]).try_into_u64().unwrap(), vec![3]);
+        assert_eq!(
+            Payload::Empty.try_into_f64(),
+            Err(ClusterError::TypeMismatch {
+                expected: "F64".into(),
+                found: "Empty".into(),
+            })
+        );
+        assert_eq!(
+            Payload::F64(vec![1.0]).try_into_u64(),
+            Err(ClusterError::TypeMismatch {
+                expected: "U64".into(),
+                found: "F64".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn new_stats_have_no_per_sender_breakdown() {
+        // `CommStats::new()` tracks totals only: attributing a message to
+        // any sender rank still counts globally but records no breakdown.
+        let s = CommStats::new();
+        s.record_message_from(0, 64);
+        s.record_message_from(7, 16);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes, 80);
+        assert_eq!(snap.messages, 2);
+        assert!(snap.bytes_by_sender.is_empty());
+        assert_eq!(snap.sender_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn retransmit_and_duplicate_counters_are_separate() {
+        let s = CommStats::new();
+        s.record_message(100);
+        s.record_retransmit(100); // the dropped copy's resend
+        s.record_duplicate_suppressed();
+        let snap = s.snapshot();
+        // Logical totals are unchanged by the extra wire copy.
+        assert_eq!(snap.bytes, 100);
+        assert_eq!(snap.messages, 1);
+        assert_eq!(snap.retransmits, 1);
+        assert_eq!(snap.retransmit_bytes, 100);
+        assert_eq!(snap.duplicates_suppressed, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), CommStatsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let a = CommStats::with_world(2);
+        a.record_message_from(0, 10);
+        a.record_collective();
+        let b = CommStats::with_world(2);
+        b.record_message_from(1, 30);
+        b.record_retransmit(30);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.bytes, 40);
+        assert_eq!(total.messages, 2);
+        assert_eq!(total.collectives, 1);
+        assert_eq!(total.retransmits, 1);
+        assert_eq!(total.bytes_by_sender, vec![10, 30]);
+        // Merging into a breakdown-free snapshot grows the breakdown.
+        let mut plain = CommStats::new().snapshot();
+        plain.merge(&b.snapshot());
+        assert_eq!(plain.bytes_by_sender, vec![0, 30]);
     }
 }
 

@@ -16,14 +16,23 @@
 //! bandwidth/latency) that the experiment harness uses to model cluster
 //! wall-clock from measured compute + counted bytes (the effect behind the
 //! paper's Fig. 7 observation that startup costs dominate small datasets).
+//!
+//! The runtime is **fault-tolerant**: failures are typed ([`ClusterError`]),
+//! a crashed worker aborts its peers instead of deadlocking them, every
+//! primitive has a fallible `try_*` variant, and deterministic chaos can be
+//! injected via a seeded [`FaultPlan`] through [`ClusterOptions`].
 
 pub mod comm;
 pub mod cost;
+pub mod error;
+pub mod fault;
 pub mod runtime;
 
 pub use comm::{BufferPool, CommStats, CommStatsSnapshot, Payload};
 pub use cost::CostModel;
-pub use runtime::{Cluster, WorkerCtx};
+pub use error::{ClusterError, ClusterResult};
+pub use fault::FaultPlan;
+pub use runtime::{Cluster, ClusterOptions, WorkerCtx};
 
 #[cfg(test)]
 mod proptests {
@@ -73,7 +82,7 @@ mod proptests {
                     }
                 }
                 got
-            });
+            }).unwrap();
             for (me, got) in results.into_iter().enumerate() {
                 for (s, t, v) in got {
                     let expected = plan
@@ -96,7 +105,7 @@ mod proptests {
                     ctx.barrier();
                 }
                 acc
-            });
+            }).unwrap();
             let expected: f64 = (0..rounds)
                 .map(|round| {
                     (0..world).map(|r| (r + round) as f64).sum::<f64>()

@@ -11,20 +11,100 @@
 //! identically on every worker (valid because the program is SPMD), so
 //! messages from different phases can never be confused even though the
 //! channels are shared.  All remote traffic is tallied in [`CommStats`].
+//!
+//! ## Fault model
+//!
+//! The runtime is fault-tolerant: every communication primitive has a
+//! fallible `try_*` variant returning [`ClusterResult`], and the classic
+//! variants are thin wrappers that panic with the typed error.  When a
+//! worker fails — its closure panics, returns an error, or a fault plan
+//! crashes it — the runtime fans an **abort message** carrying the encoded
+//! [`ClusterError`] out to every peer.  Peers blocked in any receive wake
+//! up with the originating error instead of deadlocking, and
+//! [`Cluster::run`] returns `Err` naming the failing rank and cause.
+//! A context that has observed an abort is poisoned: all further
+//! communication on it fails fast with the same error.
+//!
+//! Deterministic chaos is injected via [`FaultPlan`] (see
+//! [`ClusterOptions`]): seeded per-message delays, drops with
+//! retransmission, duplicate deliveries (suppressed by a per-sender
+//! sequence check), and crash-at-collective-k worker failures.  Control
+//! traffic — barrier tokens and abort fan-outs — bypasses both fault
+//! injection and [`CommStats`], so logical traffic totals under chaos stay
+//! bit-identical to a fault-free run.
 
 use crate::comm::{CommStats, CommStatsSnapshot, Payload};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::error::{ClusterError, ClusterResult};
+use crate::fault::{FaultPlan, MessageFate};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
-use std::sync::{Arc, Barrier};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Tags below this are reserved for internally sequenced collectives;
 /// user point-to-point tags are offset into the upper half.
 const USER_TAG_BASE: u64 = 1 << 63;
 
+/// Reserved control tag carrying an encoded [`ClusterError`] from a
+/// failing worker to its peers.
+const ABORT_TAG: u64 = u64::MAX;
+
 struct Msg {
     src: usize,
     tag: u64,
+    /// Per-sender sequence number (1-based, monotone per channel); lets
+    /// receivers suppress duplicate deliveries under fault injection.
+    id: u64,
     payload: Payload,
+}
+
+/// Runtime knobs for a cluster run: the receive-deadline backstop and an
+/// optional fault-injection plan.
+///
+/// The default timeout converts any would-be deadlock (a worker waiting
+/// for a message that can never arrive) into a typed
+/// [`ClusterError::Timeout`] instead of a hang; the abort protocol makes
+/// genuine crashes surface far faster than that.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Deadline applied to every blocking receive; `None` waits forever
+    /// (the seed behaviour).
+    pub default_timeout: Option<Duration>,
+    /// Deterministic fault schedule; `None` runs fault-free.  Shared via
+    /// `Arc` so one-shot crash points stay consumed across retries.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            default_timeout: Some(Duration::from_secs(30)),
+            fault_plan: None,
+        }
+    }
+}
+
+impl ClusterOptions {
+    /// Options with no receive deadline and no faults.
+    pub fn no_timeout() -> Self {
+        ClusterOptions {
+            default_timeout: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Sets the receive-deadline backstop.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.default_timeout = Some(timeout);
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// Entry point for running SPMD programs on the simulated cluster.
@@ -32,7 +112,7 @@ struct Msg {
 /// ```
 /// use dismastd_cluster::Cluster;
 /// // Every worker contributes its rank; the all-reduce sums them.
-/// let results = Cluster::run(4, |ctx| ctx.allreduce_sum_scalar(ctx.rank() as f64));
+/// let results = Cluster::run(4, |ctx| ctx.allreduce_sum_scalar(ctx.rank() as f64)).unwrap();
 /// assert_eq!(results, vec![6.0; 4]);
 /// ```
 pub struct Cluster;
@@ -41,28 +121,71 @@ impl Cluster {
     /// Runs `f` on `world` simulated worker nodes and returns each worker's
     /// result, ordered by rank.
     ///
+    /// A worker that panics no longer hangs its peers: the abort protocol
+    /// wakes everyone and the call returns [`ClusterError::PeerCrashed`]
+    /// with the failing rank and panic message.
+    ///
+    /// # Errors
+    /// Returns the originating [`ClusterError`] when any worker fails.
+    ///
     /// # Panics
-    /// Panics if `world == 0` or if any worker panics.
-    pub fn run<T, F>(world: usize, f: F) -> Vec<T>
+    /// Panics if `world == 0` (a caller bug, not a runtime fault).
+    pub fn run<T, F>(world: usize, f: F) -> ClusterResult<Vec<T>>
     where
         T: Send,
         F: Fn(&mut WorkerCtx) -> T + Sync,
     {
-        Self::run_with_stats(world, f).0
+        Self::run_with_stats(world, f).map(|(results, _)| results)
     }
 
     /// Like [`Cluster::run`], additionally returning the aggregate
     /// communication statistics of the whole run.
-    pub fn run_with_stats<T, F>(world: usize, f: F) -> (Vec<T>, CommStatsSnapshot)
+    ///
+    /// # Errors
+    /// As for [`Cluster::run`].
+    pub fn run_with_stats<T, F>(world: usize, f: F) -> ClusterResult<(Vec<T>, CommStatsSnapshot)>
     where
         T: Send,
         F: Fn(&mut WorkerCtx) -> T + Sync,
     {
+        Self::try_run_with_opts(world, &ClusterOptions::default(), |ctx| Ok(f(ctx)))
+    }
+
+    /// Fallible-closure variant: workers return [`ClusterResult`] and the
+    /// first failure aborts the whole run.
+    ///
+    /// # Errors
+    /// Returns the originating [`ClusterError`] when any worker fails.
+    pub fn try_run<T, F>(world: usize, f: F) -> ClusterResult<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut WorkerCtx) -> ClusterResult<T> + Sync,
+    {
+        Self::try_run_with_opts(world, &ClusterOptions::default(), f).map(|(r, _)| r)
+    }
+
+    /// Full-control entry point: fallible closure, explicit
+    /// [`ClusterOptions`] (timeouts, fault injection), and comm stats.
+    ///
+    /// # Errors
+    /// Returns the originating [`ClusterError`] when any worker fails.
+    ///
+    /// # Panics
+    /// Panics if `world == 0`.
+    pub fn try_run_with_opts<T, F>(
+        world: usize,
+        opts: &ClusterOptions,
+        f: F,
+    ) -> ClusterResult<(Vec<T>, CommStatsSnapshot)>
+    where
+        T: Send,
+        F: Fn(&mut WorkerCtx) -> ClusterResult<T> + Sync,
+    {
         assert!(world > 0, "cluster needs at least one worker");
         let stats = Arc::new(CommStats::with_world(world));
-        let barrier = Arc::new(Barrier::new(world));
 
-        // One inbound channel per worker; every worker holds all senders.
+        // One inbound channel per worker; every worker holds all senders
+        // (including its own, so its receiver can never disconnect).
         let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(world);
         let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(world);
         for _ in 0..world {
@@ -71,13 +194,14 @@ impl Cluster {
             receivers.push(Some(rx));
         }
 
-        let results: Vec<T> = std::thread::scope(|scope| {
+        let results: Vec<ClusterResult<T>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(world);
             for (rank, slot) in receivers.iter_mut().enumerate() {
                 let receiver = slot.take().expect("receiver taken once");
                 let senders = senders.clone();
-                let barrier = Arc::clone(&barrier);
                 let stats = Arc::clone(&stats);
+                let plan = opts.fault_plan.clone();
+                let default_timeout = opts.default_timeout;
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mut ctx = WorkerCtx {
@@ -87,19 +211,111 @@ impl Cluster {
                         receiver,
                         pending: VecDeque::new(),
                         seq: 0,
-                        barrier,
+                        next_msg_id: 0,
+                        last_seen_id: vec![0; world],
+                        abort: None,
+                        plan,
+                        default_timeout,
                         stats,
                     };
-                    f(&mut ctx)
+                    // Catch panics so one worker's death cannot poison the
+                    // join; surviving peers are woken via the abort fan-out.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                    let result = match outcome {
+                        Ok(Ok(value)) => Ok(value),
+                        Ok(Err(err)) => Err(err),
+                        Err(panic) => Err(error_from_panic(rank, panic)),
+                    };
+                    if let Err(err) = &result {
+                        if ctx.abort.is_none() {
+                            // This worker is the origin of the failure —
+                            // tell everyone before going down.
+                            ctx.abort_peers(err.clone());
+                        }
+                    }
+                    result
                 }));
             }
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .enumerate()
+                .map(|(rank, h)| match h.join() {
+                    Ok(result) => result,
+                    // Unreachable: the closure is fully guarded by
+                    // catch_unwind; kept as a typed error for safety.
+                    Err(_) => Err(ClusterError::PeerCrashed {
+                        rank,
+                        cause: "worker thread died outside the runtime guard".into(),
+                    }),
+                })
                 .collect()
         });
         let snapshot = stats.snapshot();
-        (results, snapshot)
+
+        let mut values = Vec::with_capacity(world);
+        let mut first_err: Option<ClusterError> = None;
+        for r in results {
+            match r {
+                Ok(v) => values.push(v),
+                Err(e) => {
+                    // Prefer a root-cause error over a peer's timeout that
+                    // merely raced the abort fan-out.
+                    let replace = match (&first_err, &e) {
+                        (None, _) => true,
+                        (Some(ClusterError::Timeout { .. }), ClusterError::Timeout { .. }) => false,
+                        (Some(ClusterError::Timeout { .. }), _) => true,
+                        _ => false,
+                    };
+                    if replace {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((values, snapshot)),
+        }
+    }
+}
+
+/// Decodes the [`ClusterError`] carried by an abort notice, falling back
+/// to a generic crash report naming the aborting sender.
+fn decode_abort(msg: &Msg) -> ClusterError {
+    match &msg.payload {
+        Payload::Bytes(b) => ClusterError::decode(b),
+        _ => None,
+    }
+    .unwrap_or(ClusterError::PeerCrashed {
+        rank: msg.src,
+        cause: "peer aborted".into(),
+    })
+}
+
+/// Turns a caught panic payload into a typed error, recovering a
+/// [`ClusterError`] thrown by an infallible wrapper via `panic_any`.
+fn error_from_panic(rank: usize, panic: Box<dyn std::any::Any + Send>) -> ClusterError {
+    match panic.downcast::<ClusterError>() {
+        Ok(err) => *err,
+        Err(other) => {
+            let cause = if let Some(s) = other.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = other.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "worker panicked".to_string()
+            };
+            ClusterError::PeerCrashed { rank, cause }
+        }
+    }
+}
+
+/// Unwraps a comm result for the classic infallible API: typed errors are
+/// re-thrown via `panic_any` so the runtime can recover them intact.
+fn unwrap_comm<T>(result: ClusterResult<T>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => std::panic::panic_any(e),
     }
 }
 
@@ -114,7 +330,15 @@ pub struct WorkerCtx {
     pending: VecDeque<Msg>,
     /// Collective sequence number; advances in lock-step on all workers.
     seq: u64,
-    barrier: Arc<Barrier>,
+    /// Last message id handed to this worker's sends (1-based).
+    next_msg_id: u64,
+    /// Highest message id delivered per source rank; anything at or below
+    /// is a duplicate and is suppressed.
+    last_seen_id: Vec<u64>,
+    /// Set once a failure is observed; poisons all further communication.
+    abort: Option<ClusterError>,
+    plan: Option<Arc<FaultPlan>>,
+    default_timeout: Option<Duration>,
     stats: Arc<CommStats>,
 }
 
@@ -136,49 +360,253 @@ impl WorkerCtx {
         self.stats.snapshot()
     }
 
+    /// The poisoning error, if this context has observed a failure.
+    pub fn abort_cause(&self) -> Option<&ClusterError> {
+        self.abort.as_ref()
+    }
+
+    // ---- point-to-point --------------------------------------------------
+
     /// Sends `payload` to worker `dst` under a user tag.
     ///
     /// Only remote sends (`dst != rank`) count as network traffic.
-    pub fn send(&self, dst: usize, tag: u64, payload: Payload) {
-        self.send_raw(dst, USER_TAG_BASE + tag, payload);
+    ///
+    /// # Panics
+    /// Panics (with the typed [`ClusterError`]) when the cluster has
+    /// aborted; see [`WorkerCtx::try_send`].
+    pub fn send(&mut self, dst: usize, tag: u64, payload: Payload) {
+        unwrap_comm(self.try_send(dst, tag, payload));
+    }
+
+    /// Fallible [`WorkerCtx::send`].
+    ///
+    /// # Errors
+    /// Fails fast with the poisoning error after an abort, or with
+    /// [`ClusterError::PeerCrashed`] when `dst`'s inbound channel is gone.
+    pub fn try_send(&mut self, dst: usize, tag: u64, payload: Payload) -> ClusterResult<()> {
+        self.try_send_raw(dst, USER_TAG_BASE + tag, payload)
     }
 
     /// Receives the payload sent by `src` under a user tag, blocking until
     /// it arrives.  Messages with other tags are buffered, not lost.
+    ///
+    /// # Panics
+    /// Panics (with the typed [`ClusterError`]) on abort or timeout; see
+    /// [`WorkerCtx::try_recv`].
     pub fn recv(&mut self, src: usize, tag: u64) -> Payload {
-        self.recv_raw(src, USER_TAG_BASE + tag)
+        unwrap_comm(self.try_recv(src, tag))
     }
 
-    fn send_raw(&self, dst: usize, tag: u64, payload: Payload) {
-        if dst != self.rank {
+    /// Fallible [`WorkerCtx::recv`], bounded by the run's default timeout.
+    ///
+    /// # Errors
+    /// Returns [`ClusterError::Timeout`] past the deadline, the peer's
+    /// error when the cluster aborts, or the poisoning error thereafter.
+    pub fn try_recv(&mut self, src: usize, tag: u64) -> ClusterResult<Payload> {
+        self.try_recv_raw(src, USER_TAG_BASE + tag, self.default_timeout)
+    }
+
+    /// Like [`WorkerCtx::try_recv`] with an explicit deadline.
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_recv`].
+    pub fn recv_timeout(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> ClusterResult<Payload> {
+        self.try_recv_raw(src, USER_TAG_BASE + tag, Some(timeout))
+    }
+
+    // ---- internal message plumbing --------------------------------------
+
+    fn fresh_msg_id(&mut self) -> u64 {
+        self.next_msg_id += 1;
+        self.next_msg_id
+    }
+
+    /// Sends on the data plane: counted in [`CommStats`] and subject to
+    /// fault injection (remote messages only).
+    fn try_send_raw(&mut self, dst: usize, tag: u64, payload: Payload) -> ClusterResult<()> {
+        if let Some(err) = &self.abort {
+            return Err(err.clone());
+        }
+        let remote = dst != self.rank;
+        if remote {
             self.stats
                 .record_message_from(self.rank, payload.size_bytes());
         }
+        let id = self.fresh_msg_id();
+        let fate = match (&self.plan, remote) {
+            (Some(plan), true) => plan.fate(self.rank, dst, id),
+            _ => MessageFate::Deliver,
+        };
+        let sent = match fate {
+            MessageFate::Deliver => self.deliver(dst, tag, id, payload),
+            MessageFate::Delay(d) => {
+                // The simulated network holds the message; the synchronous
+                // sender models that by sleeping before handing it over.
+                std::thread::sleep(d);
+                self.deliver(dst, tag, id, payload)
+            }
+            MessageFate::DropThenRetransmit => {
+                // First copy lost in flight: never enqueued.  The sender
+                // notices (simulated RTO) and retransmits the same id; the
+                // extra wire copy is tallied separately from logical bytes.
+                self.stats.record_retransmit(payload.size_bytes());
+                let rto = self
+                    .plan
+                    .as_ref()
+                    .map(|p| p.retransmit_delay())
+                    .unwrap_or_default();
+                std::thread::sleep(rto);
+                self.deliver(dst, tag, id, payload)
+            }
+            MessageFate::Duplicate => {
+                // Spurious retransmit: both copies hit the wire; the
+                // receiver's sequence check discards the second.
+                self.stats.record_retransmit(payload.size_bytes());
+                self.deliver(dst, tag, id, payload.clone())
+                    .and_then(|()| self.deliver(dst, tag, id, payload))
+            }
+        };
+        sent.map_err(|e| self.root_cause_for_send_failure(e))
+    }
+
+    /// A failed send means the destination already exited.  Workers only
+    /// exit early after fanning out an abort, and the fan-out enqueues our
+    /// copy of the abort *before* the peer can observe its own and drop its
+    /// receiver — so when a send fails, the root cause is already sitting
+    /// in our inbox.  Surface it instead of the secondary channel-closed
+    /// symptom (which names the wrong rank).
+    fn root_cause_for_send_failure(&mut self, err: ClusterError) -> ClusterError {
+        while let Ok(msg) = self.receiver.try_recv() {
+            if msg.tag == ABORT_TAG {
+                let root = decode_abort(&msg);
+                self.abort = Some(root.clone());
+                return root;
+            }
+            self.pending.push_back(msg);
+        }
+        err
+    }
+
+    fn deliver(&self, dst: usize, tag: u64, id: u64, payload: Payload) -> ClusterResult<()> {
         self.senders[dst]
             .send(Msg {
                 src: self.rank,
                 tag,
+                id,
                 payload,
             })
-            .expect("receiver lives as long as the cluster");
+            .map_err(|_| ClusterError::PeerCrashed {
+                rank: dst,
+                cause: "inbound channel closed (worker exited)".into(),
+            })
     }
 
-    fn recv_raw(&mut self, src: usize, tag: u64) -> Payload {
+    /// Sends on the control plane (barrier tokens): no stats, no fault
+    /// injection, failures ignored — a dead peer is discovered via its
+    /// abort message, not via our send.
+    fn send_control(&mut self, dst: usize, tag: u64) {
+        let id = self.fresh_msg_id();
+        let _ = self.senders[dst].send(Msg {
+            src: self.rank,
+            tag,
+            id,
+            payload: Payload::Empty,
+        });
+    }
+
+    /// Fans the failure out to every peer and poisons this context.
+    /// Idempotent by construction: callers check `abort` first.
+    fn abort_peers(&mut self, err: ClusterError) {
+        for dst in 0..self.world {
+            if dst == self.rank {
+                continue;
+            }
+            let id = self.fresh_msg_id();
+            let _ = self.senders[dst].send(Msg {
+                src: self.rank,
+                tag: ABORT_TAG,
+                id,
+                payload: Payload::Bytes(bytes::Bytes::from(err.encode())),
+            });
+        }
+        self.abort = Some(err);
+    }
+
+    /// Core receive: matches `(src, tag)`, buffers everything else,
+    /// converts aborts into typed errors, suppresses duplicate deliveries,
+    /// and enforces the deadline.
+    fn try_recv_raw(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout: Option<Duration>,
+    ) -> ClusterResult<Payload> {
+        if let Some(err) = &self.abort {
+            return Err(err.clone());
+        }
         // Check buffered messages first.
         if let Some(pos) = self
             .pending
             .iter()
             .position(|m| m.src == src && m.tag == tag)
         {
-            return self.pending.remove(pos).expect("position valid").payload;
+            return Ok(self.pending.remove(pos).expect("position valid").payload);
         }
+        let started = Instant::now();
+        let deadline = timeout.map(|t| started + t);
         loop {
-            let msg = self
-                .receiver
-                .recv()
-                .expect("senders live as long as the cluster");
+            let msg = match deadline {
+                None => match self.receiver.recv() {
+                    Ok(m) => m,
+                    // Unreachable (we hold a sender to ourselves), but
+                    // mapped to a typed error rather than a panic.
+                    Err(_) => {
+                        return Err(ClusterError::PeerCrashed {
+                            rank: self.rank,
+                            cause: "own inbound channel closed".into(),
+                        })
+                    }
+                },
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    match self.receiver.recv_timeout(remaining) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => {
+                            return Err(ClusterError::Timeout {
+                                rank: self.rank,
+                                src,
+                                tag,
+                                waited_ms: started.elapsed().as_millis() as u64,
+                            })
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(ClusterError::PeerCrashed {
+                                rank: self.rank,
+                                cause: "own inbound channel closed".into(),
+                            })
+                        }
+                    }
+                }
+            };
+            if msg.tag == ABORT_TAG {
+                let err = decode_abort(&msg);
+                self.abort = Some(err.clone());
+                return Err(err);
+            }
+            // Duplicate suppression: per-sender ids are monotone and each
+            // channel is FIFO, so a non-increasing id is a replayed copy.
+            if msg.id <= self.last_seen_id[msg.src] {
+                self.stats.record_duplicate_suppressed();
+                continue;
+            }
+            self.last_seen_id[msg.src] = msg.id;
             if msg.src == src && msg.tag == tag {
-                return msg.payload;
+                return Ok(msg.payload);
             }
             self.pending.push_back(msg);
         }
@@ -190,12 +618,63 @@ impl WorkerCtx {
         s
     }
 
+    /// Injected-crash checkpoint at every collective entry: if the fault
+    /// plan has an armed crash for `(rank, seq)`, this worker fails here.
+    fn maybe_crash(&mut self) -> ClusterResult<()> {
+        if let Some(err) = &self.abort {
+            return Err(err.clone());
+        }
+        if let Some(plan) = &self.plan {
+            if plan.take_crash(self.rank, self.seq) {
+                return Err(ClusterError::PeerCrashed {
+                    rank: self.rank,
+                    cause: format!("fault injection: crash at collective {}", self.seq),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ---- collectives -----------------------------------------------------
+
     /// Blocks until every worker reaches the barrier.
+    ///
+    /// # Panics
+    /// Panics (with the typed error) when the cluster aborts mid-barrier;
+    /// see [`WorkerCtx::try_barrier`].
     pub fn barrier(&mut self) {
+        unwrap_comm(self.try_barrier());
+    }
+
+    /// Fallible [`WorkerCtx::barrier`].  Implemented over the message
+    /// channels (gather-to-0 of empty tokens, then release) rather than a
+    /// blocking `std::sync::Barrier`, so a crashed worker aborts the
+    /// barrier instead of deadlocking it.  Token traffic is control-plane:
+    /// it appears in no byte or message counter.
+    ///
+    /// # Errors
+    /// Returns the peer's [`ClusterError`] when the cluster aborts.
+    pub fn try_barrier(&mut self) -> ClusterResult<()> {
+        self.maybe_crash()?;
+        let tag = self.next_seq();
         if self.rank == 0 {
             self.stats.record_collective();
         }
-        self.barrier.wait();
+        if self.world == 1 {
+            return Ok(());
+        }
+        if self.rank == 0 {
+            for src in 1..self.world {
+                self.try_recv_raw(src, tag, self.default_timeout)?;
+            }
+            for dst in 1..self.world {
+                self.send_control(dst, tag);
+            }
+        } else {
+            self.send_control(0, tag);
+            self.try_recv_raw(0, tag, self.default_timeout)?;
+        }
+        Ok(())
     }
 
     /// All-to-all exchange: `outgoing[d]` is delivered to worker `d`; the
@@ -205,9 +684,23 @@ impl WorkerCtx {
     /// This is the primitive behind the factor-row shuffles of Sec. IV-B1/B2.
     ///
     /// # Panics
-    /// Panics unless `outgoing.len() == world`.
-    pub fn exchange(&mut self, mut outgoing: Vec<Payload>) -> Vec<Payload> {
+    /// Panics unless `outgoing.len() == world`, or (with the typed error)
+    /// when the cluster aborts; see [`WorkerCtx::try_exchange`].
+    pub fn exchange(&mut self, outgoing: Vec<Payload>) -> Vec<Payload> {
+        unwrap_comm(self.try_exchange(outgoing))
+    }
+
+    /// Fallible [`WorkerCtx::exchange`].
+    ///
+    /// # Errors
+    /// Returns the poisoning [`ClusterError`] when any peer fails or a
+    /// receive times out.
+    ///
+    /// # Panics
+    /// Panics unless `outgoing.len() == world` (a caller bug).
+    pub fn try_exchange(&mut self, mut outgoing: Vec<Payload>) -> ClusterResult<Vec<Payload>> {
         assert_eq!(outgoing.len(), self.world, "one payload per destination");
+        self.maybe_crash()?;
         let tag = self.next_seq();
         if self.rank == 0 {
             self.stats.record_collective();
@@ -218,26 +711,44 @@ impl WorkerCtx {
             if dst == self.rank {
                 continue;
             }
-            self.send_raw(dst, tag, payload);
+            self.try_send_raw(dst, tag, payload)?;
         }
         let mut incoming = Vec::with_capacity(self.world);
         for src in 0..self.world {
             if src == self.rank {
                 incoming.push(Payload::Empty); // placeholder, replaced below
             } else {
-                incoming.push(self.recv_raw(src, tag));
+                incoming.push(self.try_recv_raw(src, tag, self.default_timeout)?);
             }
         }
         incoming[self.rank] = mine;
-        incoming
+        Ok(incoming)
     }
 
     /// Broadcast from `root`: the root passes `Some(payload)`, everyone else
     /// passes `None`; all workers (including the root) return the payload.
     ///
     /// # Panics
-    /// Panics if the root passes `None` or a non-root passes `Some`.
+    /// Panics if the root passes `None` or a non-root passes `Some`, or
+    /// (with the typed error) when the cluster aborts.
     pub fn broadcast(&mut self, root: usize, payload: Option<Payload>) -> Payload {
+        unwrap_comm(self.try_broadcast(root, payload))
+    }
+
+    /// Fallible [`WorkerCtx::broadcast`].
+    ///
+    /// # Errors
+    /// Returns the poisoning [`ClusterError`] when any peer fails or the
+    /// receive times out.
+    ///
+    /// # Panics
+    /// Panics on root/payload misuse (a caller bug).
+    pub fn try_broadcast(
+        &mut self,
+        root: usize,
+        payload: Option<Payload>,
+    ) -> ClusterResult<Payload> {
+        self.maybe_crash()?;
         let tag = self.next_seq();
         if self.rank == 0 {
             self.stats.record_collective();
@@ -246,19 +757,37 @@ impl WorkerCtx {
             let payload = payload.expect("root must supply the broadcast payload");
             for dst in 0..self.world {
                 if dst != root {
-                    self.send_raw(dst, tag, payload.clone());
+                    self.try_send_raw(dst, tag, payload.clone())?;
                 }
             }
-            payload
+            Ok(payload)
         } else {
             assert!(payload.is_none(), "only the root supplies a payload");
-            self.recv_raw(root, tag)
+            self.try_recv_raw(root, tag, self.default_timeout)
         }
     }
 
     /// Gather to `root`: returns `Some(payloads_by_rank)` on the root,
     /// `None` elsewhere.
+    ///
+    /// # Panics
+    /// Panics (with the typed error) when the cluster aborts; see
+    /// [`WorkerCtx::try_gather`].
     pub fn gather(&mut self, root: usize, payload: Payload) -> Option<Vec<Payload>> {
+        unwrap_comm(self.try_gather(root, payload))
+    }
+
+    /// Fallible [`WorkerCtx::gather`].
+    ///
+    /// # Errors
+    /// Returns the poisoning [`ClusterError`] when any peer fails or a
+    /// receive times out.
+    pub fn try_gather(
+        &mut self,
+        root: usize,
+        payload: Payload,
+    ) -> ClusterResult<Option<Vec<Payload>>> {
+        self.maybe_crash()?;
         let tag = self.next_seq();
         if self.rank == 0 {
             self.stats.record_collective();
@@ -269,14 +798,14 @@ impl WorkerCtx {
                 if src == root {
                     all.push(payload.clone());
                 } else {
-                    all.push(self.recv_raw(src, tag));
+                    all.push(self.try_recv_raw(src, tag, self.default_timeout)?);
                 }
             }
             all[root] = payload;
-            Some(all)
+            Ok(Some(all))
         } else {
-            self.send_raw(root, tag, payload);
-            None
+            self.try_send_raw(root, tag, payload)?;
+            Ok(None)
         }
     }
 
@@ -285,52 +814,130 @@ impl WorkerCtx {
     ///
     /// Implemented gather-to-0 + broadcast, the "All-to-All reduction …
     /// aggregate … and distribute among all partitions" of Sec. IV-B3.
+    ///
+    /// # Panics
+    /// Panics (with the typed error) on abort, type mismatch, or buffer
+    /// size mismatch; see [`WorkerCtx::try_allreduce_sum`].
     pub fn allreduce_sum(&mut self, buf: &mut [f64]) {
+        unwrap_comm(self.try_allreduce_sum(buf));
+    }
+
+    /// Fallible [`WorkerCtx::allreduce_sum`].
+    ///
+    /// Buffer lengths are validated against the root's buffer; a mismatch
+    /// aborts the run, so **every** rank observes the same
+    /// [`ClusterError::SizeMismatch`] naming the offending rank (the seed
+    /// runtime instead `assert_eq!`-ed on rank 0 and hung the rest).
+    ///
+    /// # Errors
+    /// `SizeMismatch` on disagreeing lengths, `TypeMismatch` on protocol
+    /// corruption, or the poisoning error when a peer fails.
+    pub fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> ClusterResult<()> {
         if self.world == 1 {
-            return;
+            self.maybe_crash()?;
+            return Ok(());
         }
         let root = 0usize;
-        let gathered = self.gather(root, Payload::F64(buf.to_vec()));
+        let gathered = self.try_gather(root, Payload::F64(buf.to_vec()))?;
         if self.rank == root {
             let all = gathered.expect("root gathers");
+            // Validate every contribution before reducing; a mismatch is
+            // fanned out so all ranks fail with the same typed error.
+            let mut vecs = Vec::with_capacity(all.len());
+            for (src, p) in all.into_iter().enumerate() {
+                let v = match p.try_into_f64() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.abort_peers(e.clone());
+                        return Err(e);
+                    }
+                };
+                if v.len() != buf.len() {
+                    let e = ClusterError::SizeMismatch {
+                        rank: src,
+                        expected: buf.len(),
+                        found: v.len(),
+                    };
+                    self.abort_peers(e.clone());
+                    return Err(e);
+                }
+                vecs.push(v);
+            }
             buf.iter_mut().for_each(|x| *x = 0.0);
-            for p in all {
-                let v = p.into_f64();
-                assert_eq!(v.len(), buf.len(), "allreduce buffers must agree");
+            for v in vecs {
                 for (b, x) in buf.iter_mut().zip(v) {
                     *b += x;
                 }
             }
-            self.broadcast(root, Some(Payload::F64(buf.to_vec())));
+            self.try_broadcast(root, Some(Payload::F64(buf.to_vec())))?;
         } else {
-            let reduced = self.broadcast(root, None).into_f64();
+            let reduced = self.try_broadcast(root, None)?.try_into_f64()?;
+            if reduced.len() != buf.len() {
+                // Can only happen on protocol corruption; still typed.
+                return Err(ClusterError::SizeMismatch {
+                    rank: self.rank,
+                    expected: buf.len(),
+                    found: reduced.len(),
+                });
+            }
             buf.copy_from_slice(&reduced);
         }
+        Ok(())
     }
 
     /// All-reduce of a single scalar.
+    ///
+    /// # Panics
+    /// As for [`WorkerCtx::allreduce_sum`].
     pub fn allreduce_sum_scalar(&mut self, x: f64) -> f64 {
+        unwrap_comm(self.try_allreduce_sum_scalar(x))
+    }
+
+    /// Fallible [`WorkerCtx::allreduce_sum_scalar`].
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_allreduce_sum`].
+    pub fn try_allreduce_sum_scalar(&mut self, x: f64) -> ClusterResult<f64> {
         let mut buf = [x];
-        self.allreduce_sum(&mut buf);
-        buf[0]
+        self.try_allreduce_sum(&mut buf)?;
+        Ok(buf[0])
     }
 
     /// All-reduce (max) of a single scalar — used for convergence voting.
+    ///
+    /// # Panics
+    /// As for [`WorkerCtx::allreduce_sum`].
     pub fn allreduce_max_scalar(&mut self, x: f64) -> f64 {
+        unwrap_comm(self.try_allreduce_max_scalar(x))
+    }
+
+    /// Fallible [`WorkerCtx::allreduce_max_scalar`].
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_allreduce_sum`].
+    pub fn try_allreduce_max_scalar(&mut self, x: f64) -> ClusterResult<f64> {
         if self.world == 1 {
-            return x;
+            self.maybe_crash()?;
+            return Ok(x);
         }
-        let gathered = self.gather(0, Payload::F64(vec![x]));
+        let gathered = self.try_gather(0, Payload::F64(vec![x]))?;
         if self.rank == 0 {
-            let m = gathered
-                .expect("root gathers")
-                .into_iter()
-                .map(|p| p.into_f64()[0])
-                .fold(f64::NEG_INFINITY, f64::max);
-            self.broadcast(0, Some(Payload::F64(vec![m])));
-            m
+            let mut m = f64::NEG_INFINITY;
+            for p in gathered.expect("root gathers") {
+                let v = match p.try_into_f64() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.abort_peers(e.clone());
+                        return Err(e);
+                    }
+                };
+                m = m.max(v.first().copied().unwrap_or(f64::NEG_INFINITY));
+            }
+            self.try_broadcast(0, Some(Payload::F64(vec![m])))?;
+            Ok(m)
         } else {
-            self.broadcast(0, None).into_f64()[0]
+            let v = self.try_broadcast(0, None)?.try_into_f64()?;
+            Ok(v.first().copied().unwrap_or(f64::NEG_INFINITY))
         }
     }
 }
@@ -342,7 +949,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
-        Cluster::run(0, |_| ());
+        let _ = Cluster::run(0, |_| ());
     }
 
     #[test]
@@ -351,13 +958,14 @@ mod tests {
             ctx.barrier();
             let s = ctx.allreduce_sum_scalar(5.0);
             (ctx.rank(), s)
-        });
+        })
+        .unwrap();
         assert_eq!(out, vec![(0, 5.0)]);
     }
 
     #[test]
     fn ranks_are_distinct_and_ordered() {
-        let out = Cluster::run(4, |ctx| ctx.rank());
+        let out = Cluster::run(4, |ctx| ctx.rank()).unwrap();
         assert_eq!(out, vec![0, 1, 2, 3]);
     }
 
@@ -373,7 +981,8 @@ mod tests {
                 ctx.send(0, 8, Payload::F64(doubled.clone()));
                 doubled
             }
-        });
+        })
+        .unwrap();
         assert_eq!(out[0], vec![2.0, 4.0]);
         assert_eq!(out[1], vec![2.0, 4.0]);
     }
@@ -391,7 +1000,8 @@ mod tests {
                 let first = ctx.recv(0, 1).into_u64();
                 vec![first[0], second[0]]
             }
-        });
+        })
+        .unwrap();
         assert_eq!(out[1], vec![11, 22]);
     }
 
@@ -401,7 +1011,8 @@ mod tests {
             let mut buf = vec![ctx.rank() as f64, 1.0];
             ctx.allreduce_sum(&mut buf);
             buf
-        });
+        })
+        .unwrap();
         for r in out {
             assert_eq!(r, vec![6.0, 4.0]); // 0+1+2+3, 1*4
         }
@@ -409,9 +1020,10 @@ mod tests {
 
     #[test]
     fn allreduce_scalar_and_max() {
-        let sums = Cluster::run(3, |ctx| ctx.allreduce_sum_scalar(ctx.rank() as f64 + 1.0));
+        let sums =
+            Cluster::run(3, |ctx| ctx.allreduce_sum_scalar(ctx.rank() as f64 + 1.0)).unwrap();
         assert!(sums.iter().all(|&s| s == 6.0));
-        let maxes = Cluster::run(3, |ctx| ctx.allreduce_max_scalar(-(ctx.rank() as f64)));
+        let maxes = Cluster::run(3, |ctx| ctx.allreduce_max_scalar(-(ctx.rank() as f64))).unwrap();
         assert!(maxes.iter().all(|&m| m == 0.0));
     }
 
@@ -424,7 +1036,8 @@ mod tests {
                 None
             };
             ctx.broadcast(1, payload).into_f64()
-        });
+        })
+        .unwrap();
         assert!(out.iter().all(|v| v == &vec![3.5]));
     }
 
@@ -432,7 +1045,8 @@ mod tests {
     fn gather_collects_in_rank_order() {
         let out = Cluster::run(3, |ctx| {
             ctx.gather(2, Payload::U64(vec![ctx.rank() as u64 * 10]))
-        });
+        })
+        .unwrap();
         assert!(out[0].is_none());
         assert!(out[1].is_none());
         let gathered = out[2].as_ref().unwrap();
@@ -458,7 +1072,8 @@ mod tests {
                 .into_iter()
                 .map(|p| p.into_u64()[0])
                 .collect::<Vec<u64>>()
-        });
+        })
+        .unwrap();
         // Worker d receives 100*s + d from each source s.
         assert_eq!(out[0], vec![0, 100, 200]);
         assert_eq!(out[1], vec![1, 101, 201]);
@@ -470,7 +1085,8 @@ mod tests {
         let (_, stats) = Cluster::run_with_stats(1, |ctx| {
             let incoming = ctx.exchange(vec![Payload::F64(vec![1.0; 100])]);
             assert_eq!(incoming[0].size_bytes(), 800);
-        });
+        })
+        .unwrap();
         assert_eq!(stats.bytes, 0);
         assert_eq!(stats.messages, 0);
     }
@@ -483,9 +1099,29 @@ mod tests {
             } else {
                 ctx.recv(0, 0);
             }
-        });
+        })
+        .unwrap();
         assert_eq!(stats.bytes, 80);
         assert_eq!(stats.messages, 1);
+    }
+
+    #[test]
+    fn bytes_and_empty_payloads_account_their_wire_size() {
+        // Opaque blobs count their length; Empty crosses as a zero-byte
+        // message (still one logical message).
+        let (_, stats) = Cluster::run_with_stats(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, Payload::Bytes(bytes::Bytes::from(vec![7u8; 123])));
+                ctx.send(1, 1, Payload::Empty);
+            } else {
+                assert_eq!(ctx.recv(0, 0).size_bytes(), 123);
+                assert_eq!(ctx.recv(0, 1), Payload::Empty);
+            }
+        })
+        .unwrap();
+        assert_eq!(stats.bytes, 123);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.bytes_by_sender, vec![123, 0]);
     }
 
     #[test]
@@ -498,7 +1134,8 @@ mod tests {
             let a = ctx.allreduce_sum_scalar(1.0);
             let b = ctx.allreduce_sum_scalar(10.0);
             (a, b)
-        });
+        })
+        .unwrap();
         for (a, b) in out {
             assert_eq!(a, 4.0);
             assert_eq!(b, 40.0);
@@ -514,6 +1151,116 @@ mod tests {
             ctx.barrier();
             // After the barrier everyone must observe all increments.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
-        });
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn barrier_is_control_plane_traffic() {
+        // Barriers synchronise via channel tokens now, but must stay
+        // invisible to the logical traffic counters (seed parity).
+        let (_, stats) = Cluster::run_with_stats(4, |ctx| {
+            ctx.barrier();
+            ctx.barrier();
+        })
+        .unwrap();
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.collectives, 2);
+    }
+
+    // ---- fault-path tests ------------------------------------------------
+
+    #[test]
+    fn panicking_worker_returns_error_not_hang() {
+        let started = Instant::now();
+        let err = Cluster::run(4, |ctx| {
+            if ctx.rank() == 2 {
+                panic!("boom at rank 2");
+            }
+            // Peers block on a collective the panicking worker never joins.
+            ctx.allreduce_sum_scalar(1.0)
+        })
+        .unwrap_err();
+        match err {
+            ClusterError::PeerCrashed { rank, cause } => {
+                assert_eq!(rank, 2);
+                assert!(cause.contains("boom"), "cause = {cause}");
+            }
+            other => panic!("expected PeerCrashed, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "abort must beat the timeout backstop"
+        );
+    }
+
+    #[test]
+    fn closure_error_aborts_all_ranks() {
+        let err = Cluster::try_run(3, |ctx| {
+            if ctx.rank() == 1 {
+                return Err(ClusterError::PeerCrashed {
+                    rank: 1,
+                    cause: "synthetic failure".into(),
+                });
+            }
+            ctx.try_allreduce_sum_scalar(1.0)
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::PeerCrashed {
+                rank: 1,
+                cause: "synthetic failure".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_typed_error() {
+        // The closure handles the error itself, so the run succeeds and the
+        // typed Timeout is the worker's plain return value.
+        let out = Cluster::run(2, |ctx| {
+            if ctx.rank() == 1 {
+                // Nobody ever sends tag 5.
+                ctx.recv_timeout(0, 5, Duration::from_millis(20))
+            } else {
+                Ok(Payload::Empty)
+            }
+        })
+        .unwrap();
+        match &out[1] {
+            Err(ClusterError::Timeout { rank, src, .. }) => {
+                assert_eq!(*rank, 1);
+                assert_eq!(*src, 0);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_context_fails_fast() {
+        // Once a worker observes an abort, every later operation on its
+        // context must fail immediately with the same error.
+        let err = Cluster::try_run(2, |ctx| {
+            if ctx.rank() == 0 {
+                Err(ClusterError::PeerCrashed {
+                    rank: 0,
+                    cause: "origin".into(),
+                })
+            } else {
+                // This receive wakes up with rank 0's abort...
+                let first = ctx.try_recv(0, 1).unwrap_err();
+                assert!(matches!(first, ClusterError::PeerCrashed { rank: 0, .. }));
+                // ...and the context is now poisoned: no blocking, same error.
+                let second = ctx.try_send(0, 2, Payload::Empty).unwrap_err();
+                assert_eq!(first, second);
+                let third = ctx.try_barrier().unwrap_err();
+                assert_eq!(first, third);
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::PeerCrashed { rank: 0, .. }));
     }
 }

@@ -28,7 +28,9 @@
 use crate::config::DecompConfig;
 use crate::dtd::{converged, init_factors};
 use crate::loss::{dtd_loss, GramState, LossParts};
-use dismastd_cluster::{BufferPool, Cluster, CommStatsSnapshot, Payload, WorkerCtx};
+use dismastd_cluster::{
+    BufferPool, Cluster, ClusterOptions, ClusterResult, CommStatsSnapshot, Payload, WorkerCtx,
+};
 use dismastd_partition::{CellAssignment, GridPartition, Partitioner};
 use dismastd_tensor::layout::{fingerprint, MttkrpPlan};
 use dismastd_tensor::linalg::Factorized;
@@ -228,7 +230,14 @@ pub fn dismastd(
     cfg: &DecompConfig,
     cluster: &ClusterConfig,
 ) -> Result<DistOutput> {
-    run_distributed(complement, old_factors, cfg, cluster, &mut PlanCache::new())
+    run_distributed(
+        complement,
+        old_factors,
+        cfg,
+        cluster,
+        &ClusterOptions::default(),
+        &mut PlanCache::new(),
+    )
 }
 
 /// [`dismastd`] with a caller-owned [`PlanCache`], so MTTKRP layouts for
@@ -245,7 +254,34 @@ pub fn dismastd_with_cache(
     cluster: &ClusterConfig,
     cache: &mut PlanCache,
 ) -> Result<DistOutput> {
-    run_distributed(complement, old_factors, cfg, cluster, cache)
+    run_distributed(
+        complement,
+        old_factors,
+        cfg,
+        cluster,
+        &ClusterOptions::default(),
+        cache,
+    )
+}
+
+/// [`dismastd_with_cache`] with explicit [`ClusterOptions`] — receive
+/// deadlines and (for chaos testing) a deterministic fault plan.  A worker
+/// crash or timeout surfaces as [`TensorError::ClusterFault`] rather than a
+/// hang, which is what the streaming session's restore-and-replay driver
+/// catches.
+///
+/// # Errors
+/// As for [`dismastd`], plus [`TensorError::ClusterFault`] when the
+/// cluster fails mid-decomposition.
+pub fn dismastd_with_opts(
+    complement: &SparseTensor,
+    old_factors: &[Matrix],
+    cfg: &DecompConfig,
+    cluster: &ClusterConfig,
+    opts: &ClusterOptions,
+    cache: &mut PlanCache,
+) -> Result<DistOutput> {
+    run_distributed(complement, old_factors, cfg, cluster, opts, cache)
 }
 
 /// Runs the DMS-MG baseline: distributed static CP-ALS over the full
@@ -272,10 +308,26 @@ pub fn dms_mg_with_cache(
     cluster: &ClusterConfig,
     cache: &mut PlanCache,
 ) -> Result<DistOutput> {
+    dms_mg_with_opts(full, cfg, cluster, &ClusterOptions::default(), cache)
+}
+
+/// [`dms_mg_with_cache`] with explicit [`ClusterOptions`] (see
+/// [`dismastd_with_opts`]).
+///
+/// # Errors
+/// As for [`dms_mg`], plus [`TensorError::ClusterFault`] when the cluster
+/// fails mid-decomposition.
+pub fn dms_mg_with_opts(
+    full: &SparseTensor,
+    cfg: &DecompConfig,
+    cluster: &ClusterConfig,
+    opts: &ClusterOptions,
+    cache: &mut PlanCache,
+) -> Result<DistOutput> {
     let zero_old: Vec<Matrix> = (0..full.order())
         .map(|_| Matrix::zeros(0, cfg.rank))
         .collect();
-    run_distributed(full, &zero_old, cfg, cluster, cache)
+    run_distributed(full, &zero_old, cfg, cluster, opts, cache)
 }
 
 fn run_distributed(
@@ -283,6 +335,7 @@ fn run_distributed(
     old_factors: &[Matrix],
     cfg: &DecompConfig,
     cluster: &ClusterConfig,
+    opts: &ClusterOptions,
     cache: &mut PlanCache,
 ) -> Result<DistOutput> {
     cfg.validate().map_err(TensorError::InvalidArgument)?;
@@ -326,7 +379,7 @@ fn run_distributed(
     let cfg = *cfg;
     let pooling = cluster.pooling;
     let old_rows_arc = Arc::new(old_rows.clone());
-    let (mut results, comm) = Cluster::run_with_stats(world, |ctx| {
+    let (mut results, comm) = Cluster::try_run_with_opts(world, opts, |ctx| {
         worker_body(
             ctx,
             &plans,
@@ -338,7 +391,8 @@ fn run_distributed(
             tensor_norm_sq,
             pooling,
         )
-    });
+    })
+    .map_err(|e| TensorError::ClusterFault(e.to_string()))?;
 
     let WorkerResult {
         loss_trace,
@@ -346,7 +400,7 @@ fn run_distributed(
         factors,
         iter_elapsed,
     } = results.swap_remove(0);
-    let factors = factors.expect("rank 0 assembles the final factors")?;
+    let factors = factors.expect("rank 0 assembles the final factors");
 
     Ok(DistOutput {
         kruskal: KruskalTensor::new(factors)?,
@@ -363,7 +417,7 @@ struct WorkerResult {
     loss_trace: Vec<f64>,
     iterations: usize,
     /// `Some` on rank 0 only: the gathered final factors.
-    factors: Option<Result<Vec<Matrix>>>,
+    factors: Option<Vec<Matrix>>,
     iter_elapsed: Duration,
 }
 
@@ -400,7 +454,7 @@ fn worker_body(
     old_norm_sq: f64,
     tensor_norm_sq: f64,
     pooling: bool,
-) -> WorkerResult {
+) -> ClusterResult<WorkerResult> {
     let me = ctx.rank();
     let world = ctx.world();
     let plan = &plans[me];
@@ -431,7 +485,7 @@ fn worker_body(
             &plan.owned_rows[n],
             old_rows[n],
         );
-        allreduce_grams(ctx, &mut ws, &mut state, n);
+        allreduce_grams(ctx, &mut ws, &mut state, n)?;
     }
 
     let mut loss_trace: Vec<f64> = Vec::with_capacity(cfg.max_iters);
@@ -464,12 +518,12 @@ fn worker_body(
                     }
                 })
                 .collect();
-            let incoming = ctx.exchange(outgoing);
+            let incoming = ctx.try_exchange(outgoing)?;
             for (d, payload) in incoming.into_iter().enumerate() {
                 if d == me {
                     continue;
                 }
-                let data = payload.into_f64();
+                let data = payload.try_into_f64()?;
                 add_rows(&mut hat[n], &plan.serve_routes[n][d], &data);
                 pool.put(data);
             }
@@ -518,19 +572,19 @@ fn worker_body(
                     }
                 })
                 .collect();
-            let incoming = ctx.exchange(outgoing);
+            let incoming = ctx.try_exchange(outgoing)?;
             for (d, payload) in incoming.into_iter().enumerate() {
                 if d == me {
                     continue;
                 }
-                let data = payload.into_f64();
+                let data = payload.try_into_f64()?;
                 write_rows(&mut factors[n], &plan.partial_routes[n][d], &data);
                 pool.put(data);
             }
 
             // -- 3. rebuild the RxR products by all-reduce ------------------
             local_gram_partials(&mut ws, &factors[n], &old[n], &plan.owned_rows[n], old_n);
-            allreduce_grams(ctx, &mut ws, &mut state, n);
+            allreduce_grams(ctx, &mut ws, &mut state, n)?;
 
             // -- 4. loss reuse: data inner product from the final mode -----
             if n == order - 1 {
@@ -544,7 +598,7 @@ fn worker_body(
             }
         }
         iterations += 1;
-        let inner = ctx.allreduce_sum_scalar(inner_partial);
+        let inner = ctx.try_allreduce_sum_scalar(inner_partial)?;
         let loss = dtd_loss(
             &state,
             &LossParts {
@@ -563,14 +617,14 @@ fn worker_body(
     let iter_elapsed = iter_start.elapsed();
 
     // ---- gather the owned rows of every factor to rank 0 ----------------
-    let factors_out = gather_factors(ctx, plans, &factors, init);
+    let factors_out = gather_factors(ctx, plans, &factors, init)?;
 
-    WorkerResult {
+    Ok(WorkerResult {
         loss_trace,
         iterations,
         factors: factors_out,
         iter_elapsed,
-    }
+    })
 }
 
 /// Packs the listed rows of `m` into one contiguous buffer drawn from the
@@ -653,14 +707,19 @@ fn local_gram_partials(
 /// and writes the reduced products straight into the mode-`n` slots of the
 /// replicated Gram state.  The staging buffer's capacity is reused across
 /// calls.
-fn allreduce_grams(ctx: &mut WorkerCtx, ws: &mut GramWorkspace, state: &mut GramState, n: usize) {
+fn allreduce_grams(
+    ctx: &mut WorkerCtx,
+    ws: &mut GramWorkspace,
+    state: &mut GramState,
+    n: usize,
+) -> ClusterResult<()> {
     let r = ws.g0.rows();
     let rr = r * r;
     ws.buf.clear();
     ws.buf.extend_from_slice(ws.g0.as_slice());
     ws.buf.extend_from_slice(ws.g1.as_slice());
     ws.buf.extend_from_slice(ws.cr.as_slice());
-    ctx.allreduce_sum(&mut ws.buf);
+    ctx.try_allreduce_sum(&mut ws.buf)?;
     state.gram0[n]
         .as_mut_slice()
         .copy_from_slice(&ws.buf[0..rr]);
@@ -670,6 +729,7 @@ fn allreduce_grams(ctx: &mut WorkerCtx, ws: &mut GramWorkspace, state: &mut Gram
     state.cross[n]
         .as_mut_slice()
         .copy_from_slice(&ws.buf[2 * rr..]);
+    Ok(())
 }
 
 /// Gathers every worker's owned rows to rank 0 and assembles the final
@@ -679,7 +739,7 @@ fn gather_factors(
     plans: &Arc<Vec<WorkerPlan>>,
     factors: &[Matrix],
     init: &Arc<Vec<Matrix>>,
-) -> Option<Result<Vec<Matrix>>> {
+) -> ClusterResult<Option<Vec<Matrix>>> {
     let me = ctx.rank();
     let order = factors.len();
     // One payload: all owned rows of all modes, concatenated.  One-shot
@@ -690,13 +750,15 @@ fn gather_factors(
             packed.extend_from_slice(f.row(row as usize));
         }
     }
-    let gathered = ctx.gather(0, Payload::F64(packed));
-    let gathered = gathered?; // None on non-root ranks
+    let gathered = match ctx.try_gather(0, Payload::F64(packed))? {
+        Some(g) => g,
+        None => return Ok(None), // non-root ranks
+    };
     let mut out: Vec<Matrix> = (0..order)
         .map(|n| Matrix::zeros(init[n].rows(), init[n].cols()))
         .collect();
     for (src, payload) in gathered.into_iter().enumerate() {
-        let data = payload.into_f64();
+        let data = payload.try_into_f64()?;
         let mut offset = 0usize;
         for (n, f) in out.iter_mut().enumerate() {
             let rows = &plans[src].owned_rows[n];
@@ -705,7 +767,7 @@ fn gather_factors(
             offset += len;
         }
     }
-    Some(Ok(out))
+    Ok(Some(out))
 }
 
 /// Splits the tensor over workers and grid cells, compiles (or fetches

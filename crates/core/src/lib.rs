@@ -17,6 +17,13 @@
 //!   plus the DMS-MG static baseline;
 //! * [`loss`] — the Eq. 4 objective assembled from maintained intermediates
 //!   (Sec. IV-B4) and its brute-force oracle.
+//!
+//! Distributed execution is fault-tolerant: cluster failures surface as
+//! `TensorError::ClusterFault`, sessions checkpoint/restore their durable
+//! state ([`SessionCheckpoint`]), and
+//! [`StreamingSession::ingest_with_recovery`] replays a faulted step from
+//! the pre-step checkpoint under a [`RecoveryPolicy`].  Deterministic
+//! chaos testing plugs in through [`ClusterOptions`] / [`FaultPlan`].
 
 pub mod als;
 pub mod config;
@@ -27,14 +34,16 @@ pub mod onlinecp;
 pub mod rank;
 pub mod session;
 
-pub use config::DecompConfig;
+pub use config::{DecompConfig, RecoveryPolicy};
+pub use dismastd_cluster::{ClusterError, ClusterOptions, FaultPlan};
 pub use distributed::{
-    dismastd, dismastd_with_cache, dms_mg, dms_mg_with_cache, ClusterConfig, DistOutput, PlanCache,
+    dismastd, dismastd_with_cache, dismastd_with_opts, dms_mg, dms_mg_with_cache, dms_mg_with_opts,
+    ClusterConfig, DistOutput, PlanCache,
 };
 pub use dtd::{dtd, DtdOutput};
 pub use onlinecp::OnlineCp;
 pub use rank::{select_rank, RankSearch};
-pub use session::{ExecutionMode, StepReport, StreamingSession};
+pub use session::{ExecutionMode, SessionCheckpoint, StepReport, StreamingSession};
 
 #[cfg(test)]
 mod proptests {

@@ -6,17 +6,27 @@
 //! scratch (cold start); every later snapshot reuses the previous factors
 //! and touches only the relative complement `X \ X̃` — the core DisMASTD
 //! idea that makes the per-step cost independent of the accumulated history.
+//!
+//! Sessions are **fault-tolerant**: the entire durable state serialises to
+//! a [`SessionCheckpoint`] ([`StreamingSession::checkpoint`] /
+//! [`StreamingSession::restore`]), and
+//! [`StreamingSession::ingest_with_recovery`] wraps each ingest so a
+//! distributed-mode cluster fault rolls the session back to its pre-step
+//! state and replays the step within a bounded retry budget.  Because the
+//! decomposition is deterministic for a fixed seed, a replayed step
+//! reproduces the fault-free factors bit for bit.
 
 use crate::als::cp_als;
-use crate::config::DecompConfig;
-use crate::distributed::{dismastd_with_cache, dms_mg_with_cache, ClusterConfig, PlanCache};
+use crate::config::{DecompConfig, RecoveryPolicy};
+use crate::distributed::{dismastd_with_opts, dms_mg_with_opts, ClusterConfig, PlanCache};
 use crate::dtd::dtd;
-use dismastd_cluster::CommStatsSnapshot;
+use dismastd_cluster::{ClusterOptions, CommStatsSnapshot};
 use dismastd_tensor::{KruskalTensor, Result, SparseTensor, TensorError};
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Where the per-snapshot decomposition executes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ExecutionMode {
     /// Single-threaded in-process solver.
     Serial,
@@ -50,6 +60,29 @@ pub struct StepReport {
     pub time_per_iter: Duration,
     /// Network traffic (distributed mode only).
     pub comm: Option<CommStatsSnapshot>,
+    /// Cluster-fault replays this step needed (0 on the fault-free path;
+    /// only [`StreamingSession::ingest_with_recovery`] can report more).
+    pub retries: usize,
+}
+
+/// The durable state of a [`StreamingSession`], as written by
+/// [`StreamingSession::checkpoint`]: configuration, execution mode, the
+/// latest decomposition, and the stream position.  Runtime-only state (the
+/// MTTKRP plan cache, cluster options) is rebuilt on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Decomposition hyper-parameters.
+    pub cfg: DecompConfig,
+    /// Serial or distributed execution.
+    pub mode: ExecutionMode,
+    /// Decomposition of the latest snapshot (`None` before the first).
+    pub factors: Option<KruskalTensor>,
+    /// Shape of the latest snapshot.
+    pub shape: Vec<usize>,
+    /// Snapshots ingested so far.
+    pub step: usize,
+    /// Accumulated network traffic across all distributed steps.
+    pub comm_totals: CommStatsSnapshot,
 }
 
 /// Stateful multi-aspect streaming decomposition.
@@ -87,6 +120,12 @@ pub struct StreamingSession {
     /// Distributed-mode MTTKRP layout cache, carried across steps so grid
     /// cells untouched by a snapshot update keep their compiled kernels.
     plan_cache: PlanCache,
+    /// Runtime options (timeouts, fault injection) for distributed steps.
+    /// Deliberately not checkpointed: a restored session should run with
+    /// the restoring process's options, not a dead process's fault plan.
+    cluster_opts: ClusterOptions,
+    /// Network traffic accumulated over every distributed step so far.
+    comm_totals: CommStatsSnapshot,
 }
 
 impl StreamingSession {
@@ -99,6 +138,8 @@ impl StreamingSession {
             shape: Vec::new(),
             step: 0,
             plan_cache: PlanCache::new(),
+            cluster_opts: ClusterOptions::default(),
+            comm_totals: CommStatsSnapshot::default(),
         }
     }
 
@@ -126,7 +167,151 @@ impl StreamingSession {
             shape,
             step: 1,
             plan_cache: PlanCache::new(),
+            cluster_opts: ClusterOptions::default(),
+            comm_totals: CommStatsSnapshot::default(),
         })
+    }
+
+    /// Sets the cluster runtime options (receive deadlines, fault
+    /// injection) used by every subsequent distributed step.
+    pub fn set_cluster_options(&mut self, opts: ClusterOptions) {
+        self.cluster_opts = opts;
+    }
+
+    /// The cluster runtime options in effect.
+    pub fn cluster_options(&self) -> &ClusterOptions {
+        &self.cluster_opts
+    }
+
+    /// Network traffic accumulated over every distributed step so far.
+    pub fn comm_totals(&self) -> &CommStatsSnapshot {
+        &self.comm_totals
+    }
+
+    // ---- checkpoint / recovery ------------------------------------------
+
+    /// Captures the session's durable state.
+    pub fn to_checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            cfg: self.cfg,
+            mode: self.mode.clone(),
+            factors: self.factors.clone(),
+            shape: self.shape.clone(),
+            step: self.step,
+            comm_totals: self.comm_totals.clone(),
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint.  The plan cache starts empty
+    /// (layouts are recompiled on the next ingest) and cluster options
+    /// revert to defaults.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] when the checkpoint is
+    /// internally inconsistent (factor rank vs. configured rank).
+    pub fn from_checkpoint(ckpt: SessionCheckpoint) -> Result<Self> {
+        if let Some(f) = &ckpt.factors {
+            if f.rank() != ckpt.cfg.rank {
+                return Err(TensorError::InvalidArgument(format!(
+                    "checkpoint factor rank {} does not match configured rank {}",
+                    f.rank(),
+                    ckpt.cfg.rank
+                )));
+            }
+        }
+        Ok(StreamingSession {
+            cfg: ckpt.cfg,
+            mode: ckpt.mode,
+            factors: ckpt.factors,
+            shape: ckpt.shape,
+            step: ckpt.step,
+            plan_cache: PlanCache::new(),
+            cluster_opts: ClusterOptions::default(),
+            comm_totals: ckpt.comm_totals,
+        })
+    }
+
+    /// Serialises the session's durable state to `path` as JSON.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] wrapping the underlying
+    /// serialisation or I/O failure.
+    pub fn checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let json = serde_json::to_string(&self.to_checkpoint())
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint encode: {e}")))?;
+        std::fs::write(path.as_ref(), json)
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint write: {e}")))?;
+        Ok(())
+    }
+
+    /// Rebuilds a session from a checkpoint file written by
+    /// [`StreamingSession::checkpoint`].
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] on I/O or decode failure,
+    /// or when the checkpoint is internally inconsistent.
+    pub fn restore(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint read: {e}")))?;
+        let ckpt: SessionCheckpoint = serde_json::from_str(&json)
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint decode: {e}")))?;
+        Self::from_checkpoint(ckpt)
+    }
+
+    /// Rolls the durable state back to `ckpt`, keeping runtime-only state
+    /// (plan cache — content-addressed, so always safe to reuse — and
+    /// cluster options) intact.
+    fn restore_in_place(&mut self, ckpt: SessionCheckpoint) {
+        self.cfg = ckpt.cfg;
+        self.mode = ckpt.mode;
+        self.factors = ckpt.factors;
+        self.shape = ckpt.shape;
+        self.step = ckpt.step;
+        self.comm_totals = ckpt.comm_totals;
+    }
+
+    /// [`StreamingSession::ingest`] wrapped in checkpoint/rollback: on a
+    /// [`TensorError::ClusterFault`] the session state is restored to its
+    /// pre-step checkpoint and the step replayed, up to
+    /// `policy.max_retries` times.  The returned report's `retries` field
+    /// records how many replays were needed.  Deterministic decompositions
+    /// make a successful replay bit-identical to a fault-free run.
+    ///
+    /// With `policy.checkpoint_path` set, the pre-step state is also
+    /// persisted to disk before the step runs.
+    ///
+    /// # Errors
+    /// Propagates the final [`TensorError::ClusterFault`] once the retry
+    /// budget is exhausted; all other errors propagate immediately.
+    pub fn ingest_with_recovery(
+        &mut self,
+        snapshot: &SparseTensor,
+        policy: &RecoveryPolicy,
+    ) -> Result<StepReport> {
+        let ckpt = self.to_checkpoint();
+        if let Some(path) = &policy.checkpoint_path {
+            self.checkpoint(path)?;
+        }
+        let mut retries = 0usize;
+        loop {
+            match self.ingest(snapshot) {
+                Ok(mut report) => {
+                    report.retries = retries;
+                    return Ok(report);
+                }
+                Err(TensorError::ClusterFault(msg)) => {
+                    if retries >= policy.max_retries {
+                        return Err(TensorError::ClusterFault(format!(
+                            "{msg} (retry budget of {} exhausted)",
+                            policy.max_retries
+                        )));
+                    }
+                    retries += 1;
+                    self.restore_in_place(ckpt.clone());
+                }
+                Err(other) => return Err(other),
+            }
+        }
     }
 
     /// The distributed MTTKRP layout cache (empty in serial mode).  Exposed
@@ -231,7 +416,13 @@ impl StreamingSession {
                     )
                 }
                 ExecutionMode::Distributed(cc) => {
-                    let out = dms_mg_with_cache(snapshot, &self.cfg, cc, &mut self.plan_cache)?;
+                    let out = dms_mg_with_opts(
+                        snapshot,
+                        &self.cfg,
+                        cc,
+                        &self.cluster_opts,
+                        &mut self.plan_cache,
+                    )?;
                     let loss = out.loss_trace.last().copied().unwrap_or(0.0);
                     (
                         out.kruskal,
@@ -259,8 +450,14 @@ impl StreamingSession {
                     (out.kruskal, out.iterations, loss, None, elapsed, nnz)
                 }
                 ExecutionMode::Distributed(cc) => {
-                    let out =
-                        dismastd_with_cache(&complement, old, &self.cfg, cc, &mut self.plan_cache)?;
+                    let out = dismastd_with_opts(
+                        &complement,
+                        old,
+                        &self.cfg,
+                        cc,
+                        &self.cluster_opts,
+                        &mut self.plan_cache,
+                    )?;
                     let loss = out.loss_trace.last().copied().unwrap_or(0.0);
                     (
                         out.kruskal,
@@ -295,7 +492,11 @@ impl StreamingSession {
                 iter_elapsed / iterations as u32
             },
             comm,
+            retries: 0,
         };
+        if let Some(c) = &report.comm {
+            self.comm_totals.merge(c);
+        }
         self.factors = Some(kruskal);
         self.shape = snapshot.shape().to_vec();
         self.step += 1;
@@ -444,6 +645,105 @@ mod tests {
         let checkpoint = sess.into_factors().unwrap();
         let wrong_rank = cfg().with_rank(7);
         assert!(StreamingSession::resume(wrong_rank, ExecutionMode::Serial, checkpoint).is_err());
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip() {
+        let (s0, s1) = snapshot_pair();
+        let mut sess =
+            StreamingSession::new(cfg(), ExecutionMode::Distributed(ClusterConfig::new(2)));
+        sess.ingest(&s0).unwrap();
+
+        let path = std::env::temp_dir().join("dismastd_session_ckpt_test.json");
+        sess.checkpoint(&path).unwrap();
+        let mut restored = StreamingSession::restore(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(restored.steps(), sess.steps());
+        assert_eq!(restored.shape(), sess.shape());
+        assert_eq!(restored.comm_totals(), sess.comm_totals());
+        assert_eq!(restored.factors(), sess.factors());
+
+        // Both sessions ingest the next snapshot identically (deterministic
+        // decomposition ⇒ bit-identical factors).
+        let a = sess.ingest(&s1).unwrap();
+        let b = restored.ingest(&s1).unwrap();
+        assert_eq!(a.loss, b.loss);
+        for (fa, fb) in sess
+            .factors()
+            .unwrap()
+            .factors()
+            .iter()
+            .zip(restored.factors().unwrap().factors())
+        {
+            assert_eq!(fa.max_abs_diff(fb).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_struct_round_trip_validates_rank() {
+        let (s0, _) = snapshot_pair();
+        let mut sess = StreamingSession::new(cfg(), ExecutionMode::Serial);
+        sess.ingest(&s0).unwrap();
+        let mut ckpt = sess.to_checkpoint();
+        assert!(StreamingSession::from_checkpoint(ckpt.clone()).is_ok());
+        ckpt.cfg = ckpt.cfg.with_rank(9); // now disagrees with the factors
+        assert!(StreamingSession::from_checkpoint(ckpt).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_missing_and_corrupt_files() {
+        assert!(StreamingSession::restore("/nonexistent/dir/ckpt.json").is_err());
+        let path = std::env::temp_dir().join("dismastd_corrupt_ckpt_test.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(StreamingSession::restore(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comm_totals_accumulate_across_steps() {
+        let (s0, s1) = snapshot_pair();
+        let mut sess =
+            StreamingSession::new(cfg(), ExecutionMode::Distributed(ClusterConfig::new(3)));
+        let r0 = sess.ingest(&s0).unwrap();
+        let after_first = sess.comm_totals().clone();
+        assert_eq!(after_first.bytes, r0.comm.as_ref().unwrap().bytes);
+        let r1 = sess.ingest(&s1).unwrap();
+        assert_eq!(
+            sess.comm_totals().bytes,
+            after_first.bytes + r1.comm.as_ref().unwrap().bytes
+        );
+        assert_eq!(r0.retries, 0);
+        assert_eq!(r1.retries, 0);
+    }
+
+    #[test]
+    fn ingest_with_recovery_is_transparent_without_faults() {
+        let (s0, s1) = snapshot_pair();
+        let policy = RecoveryPolicy::default();
+        let mut plain = StreamingSession::new(cfg(), ExecutionMode::Serial);
+        plain.ingest(&s0).unwrap();
+        let a = plain.ingest(&s1).unwrap();
+        let mut recovering = StreamingSession::new(cfg(), ExecutionMode::Serial);
+        recovering.ingest_with_recovery(&s0, &policy).unwrap();
+        let b = recovering.ingest_with_recovery(&s1, &policy).unwrap();
+        assert_eq!(a.loss, b.loss);
+        assert_eq!(b.retries, 0);
+    }
+
+    #[test]
+    fn recovery_propagates_non_cluster_errors_immediately() {
+        let (s0, s1) = snapshot_pair();
+        let mut sess = StreamingSession::new(cfg(), ExecutionMode::Serial);
+        sess.ingest_with_recovery(&s1, &RecoveryPolicy::default())
+            .unwrap();
+        // Shrinking snapshot: an InvalidArgument, not a ClusterFault — must
+        // not be retried, and the session must stay usable.
+        let err = sess
+            .ingest_with_recovery(&s0, &RecoveryPolicy::default())
+            .unwrap_err();
+        assert!(!matches!(err, TensorError::ClusterFault(_)));
+        assert_eq!(sess.steps(), 1);
     }
 
     #[test]

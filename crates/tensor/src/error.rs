@@ -50,6 +50,11 @@ pub enum TensorError {
     EmptyShape,
     /// Generic invalid-argument error.
     InvalidArgument(String),
+    /// The distributed cluster failed mid-operation (worker crash, receive
+    /// timeout, collective mismatch).  Carries the rendered
+    /// `ClusterError` from the cluster crate; the recovery driver in the
+    /// core crate matches on this variant to trigger restore-and-replay.
+    ClusterFault(String),
 }
 
 impl fmt::Display for TensorError {
@@ -72,6 +77,7 @@ impl fmt::Display for TensorError {
             }
             TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            TensorError::ClusterFault(msg) => write!(f, "cluster fault: {msg}"),
         }
     }
 }
@@ -102,6 +108,7 @@ mod tests {
             TensorError::Singular { solver: "cholesky" },
             TensorError::EmptyShape,
             TensorError::InvalidArgument("nope".into()),
+            TensorError::ClusterFault("worker 2 crashed: boom".into()),
         ];
         for v in variants {
             // Every variant must render something non-empty and not panic.

@@ -15,4 +15,22 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> chaos suite (fault injection + recovery)"
+cargo test -q -p dismastd-integration-tests --test fault_injection
+
+echo "==> panic audit: no infallible unwraps on cluster receive paths"
+# Cross-worker conditions (a peer's payload, a peer's liveness) must flow
+# through typed errors, never through expect/unwrap panics.  Audit the
+# non-test portion of the comm-facing sources for the known-bad patterns.
+audit_failed=0
+for f in crates/cluster/src/runtime.rs crates/cluster/src/comm.rs crates/core/src/distributed.rs; do
+  # Only the code before the test module is public runtime surface.
+  if sed '/#\[cfg(test)\]/q' "$f" \
+    | grep -nE '\.recv\(\)\s*\.expect\(|\.join\(\)\s*\.expect\(|\.into_f64\(\)|\.into_u64\(\)' ; then
+    echo "panic-prone cross-worker pattern in $f (see match above)"
+    audit_failed=1
+  fi
+done
+[ "$audit_failed" -eq 0 ] || exit 1
+
 echo "All checks passed."

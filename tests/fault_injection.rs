@@ -1,0 +1,331 @@
+//! Chaos suite: deterministic fault injection against the cluster runtime
+//! and the streaming session's checkpoint/recovery driver.
+//!
+//! The two acceptance properties from the fault-tolerance design:
+//!
+//! 1. a mid-step worker crash with recovery enabled replays the step and
+//!    produces factors **bit-identical** to a fault-free run;
+//! 2. the same crash without recovery surfaces a typed error promptly —
+//!    no deadlock, no timeout-backstop wait.
+
+use dismastd_cluster::{Cluster, ClusterError, ClusterOptions, FaultPlan, Payload};
+use dismastd_core::{ClusterConfig, DecompConfig, ExecutionMode, RecoveryPolicy, StreamingSession};
+use dismastd_tensor::{SparseTensor, SparseTensorBuilder, TensorError};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn snapshot_pair() -> (SparseTensor, SparseTensor) {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let full_shape = [9usize, 8, 7];
+    let mut full = SparseTensorBuilder::new(full_shape.to_vec());
+    for _ in 0..200 {
+        let idx: Vec<usize> = full_shape.iter().map(|&s| rng.gen_range(0..s)).collect();
+        full.push(&idx, rng.gen_range(0.5..1.5)).unwrap();
+    }
+    let full = full.build().unwrap();
+    let small = full.restrict(&[6, 6, 5]).unwrap();
+    (small, full)
+}
+
+fn cfg() -> DecompConfig {
+    DecompConfig::default().with_rank(3).with_max_iters(5)
+}
+
+// ---- runtime-level chaos -------------------------------------------------
+
+#[test]
+fn panicking_worker_aborts_the_run_promptly() {
+    // Regression for the seed's deadlock-on-panic: peers used to block in
+    // recv forever because every worker holds clones of all senders.
+    let started = Instant::now();
+    let err = Cluster::run(4, |ctx| {
+        if ctx.rank() == 1 {
+            panic!("chaos monkey");
+        }
+        // Everyone else enters a collective the dead worker never joins.
+        let mut buf = vec![1.0f64; 64];
+        ctx.allreduce_sum(&mut buf);
+        buf[0]
+    })
+    .unwrap_err();
+    match err {
+        ClusterError::PeerCrashed { rank, cause } => {
+            assert_eq!(rank, 1);
+            assert!(cause.contains("chaos monkey"), "cause = {cause}");
+        }
+        other => panic!("expected PeerCrashed, got {other}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "abort must arrive long before the 30s timeout backstop; took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn size_mismatch_is_observed_on_every_rank() {
+    // The seed asserted buffer lengths on rank 0 only; the other ranks
+    // hung.  Now the root aborts the collective and every rank gets the
+    // same typed error naming the offending contributor.
+    let out = Cluster::run(3, |ctx| {
+        let len = if ctx.rank() == 1 { 5 } else { 4 };
+        let mut buf = vec![ctx.rank() as f64; len];
+        ctx.try_allreduce_sum(&mut buf).err()
+    })
+    .unwrap();
+    assert_eq!(out.len(), 3);
+    for (rank, err) in out.into_iter().enumerate() {
+        match err {
+            Some(ClusterError::SizeMismatch {
+                rank: bad,
+                expected,
+                found,
+            }) => {
+                assert_eq!(bad, 1, "observer rank {rank} must blame rank 1");
+                assert_eq!(expected, 4);
+                assert_eq!(found, 5);
+            }
+            other => panic!("rank {rank}: expected SizeMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn injected_crash_surfaces_with_rank_and_cause() {
+    let plan = Arc::new(FaultPlan::seeded(7).crash_worker_at_collective(2, 1));
+    let opts = ClusterOptions::default()
+        .with_timeout(Duration::from_secs(20))
+        .with_fault_plan(Arc::clone(&plan));
+    let started = Instant::now();
+    let err = Cluster::try_run_with_opts(4, &opts, |ctx| {
+        for _ in 0..4 {
+            ctx.try_barrier()?;
+        }
+        Ok(ctx.rank())
+    })
+    .unwrap_err();
+    match err {
+        ClusterError::PeerCrashed { rank, cause } => {
+            assert_eq!(rank, 2);
+            assert!(cause.contains("fault injection"), "cause = {cause}");
+        }
+        other => panic!("expected PeerCrashed, got {other}"),
+    }
+    assert!(started.elapsed() < Duration::from_secs(10));
+    assert_eq!(plan.remaining_crashes(), 0, "one-shot crash was consumed");
+}
+
+#[test]
+fn message_faults_leave_logical_traffic_identical() {
+    // Drops (with retransmit), duplicates (suppressed), and delays are all
+    // masked faults: the computation and the *logical* CommStats totals
+    // must match a fault-free run bit for bit, with the wire overhead
+    // tallied separately.
+    let workload = |ctx: &mut dismastd_cluster::WorkerCtx| {
+        let me = ctx.rank() as f64;
+        let world = ctx.world();
+        let mut acc = 0.0;
+        for round in 0..5 {
+            let outgoing: Vec<Payload> = (0..world)
+                .map(|d| Payload::F64(vec![me + round as f64; 32 + d]))
+                .collect();
+            let incoming = ctx.try_exchange(outgoing)?;
+            for p in incoming {
+                acc += p.try_into_f64()?.iter().sum::<f64>();
+            }
+            acc += ctx.try_allreduce_sum_scalar(me)?;
+        }
+        Ok(acc)
+    };
+
+    let clean_opts = ClusterOptions::default();
+    let (clean_results, clean_stats) =
+        Cluster::try_run_with_opts(4, &clean_opts, workload).unwrap();
+
+    let plan = Arc::new(
+        FaultPlan::seeded(99)
+            .with_message_drops(120)
+            .with_duplicates(80)
+            .with_delays(100, Duration::from_micros(200))
+            .with_retransmit_delay(Duration::from_micros(100)),
+    );
+    let chaos_opts = ClusterOptions::default().with_fault_plan(plan);
+    let (chaos_results, chaos_stats) =
+        Cluster::try_run_with_opts(4, &chaos_opts, workload).unwrap();
+
+    assert_eq!(
+        clean_results, chaos_results,
+        "masked faults changed results"
+    );
+    assert_eq!(clean_stats.bytes, chaos_stats.bytes);
+    assert_eq!(clean_stats.messages, chaos_stats.messages);
+    assert_eq!(clean_stats.collectives, chaos_stats.collectives);
+    assert_eq!(clean_stats.bytes_by_sender, chaos_stats.bytes_by_sender);
+    // The chaos run really did inject something.
+    assert!(
+        chaos_stats.retransmits > 0,
+        "fault plan should have dropped or duplicated messages"
+    );
+    assert!(chaos_stats.duplicates_suppressed > 0);
+    assert_eq!(clean_stats.retransmits, 0);
+    assert_eq!(clean_stats.duplicates_suppressed, 0);
+}
+
+#[test]
+fn fault_schedule_is_reproducible() {
+    // Two runs under the same seed inject the same faults: identical
+    // retransmit/duplicate counters, not just identical results.
+    let run = || {
+        let plan = Arc::new(
+            FaultPlan::seeded(5)
+                .with_message_drops(150)
+                .with_duplicates(100),
+        );
+        let opts = ClusterOptions::default().with_fault_plan(plan);
+        Cluster::try_run_with_opts(3, &opts, |ctx| {
+            let mut buf = vec![ctx.rank() as f64; 50];
+            for _ in 0..6 {
+                ctx.try_allreduce_sum(&mut buf)?;
+            }
+            Ok(buf[0])
+        })
+        .unwrap()
+    };
+    let (r1, s1) = run();
+    let (r2, s2) = run();
+    assert_eq!(r1, r2);
+    assert_eq!(s1, s2);
+    assert!(s1.retransmits > 0);
+}
+
+// ---- session-level recovery ----------------------------------------------
+
+/// A fault plan that kills worker 1 early in a distributed step.  The
+/// collective index lands in the initial Gram rebuild, so the crash hits
+/// mid-decomposition, after real work has started.
+fn mid_step_crash(times: u32) -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::seeded(11).crash_worker_at_collective_times(1, 4, times))
+}
+
+#[test]
+fn chaos_recovery_reproduces_fault_free_factors_bit_identically() {
+    let (s0, s1) = snapshot_pair();
+    let mode = ExecutionMode::Distributed(ClusterConfig::new(3));
+
+    // Fault-free reference run.
+    let mut clean = StreamingSession::new(cfg(), mode.clone());
+    clean.ingest(&s0).unwrap();
+    clean.ingest(&s1).unwrap();
+
+    // Chaos run: crash worker 1 mid-way through the second step, recover.
+    let plan = mid_step_crash(1);
+    let mut chaos = StreamingSession::new(cfg(), mode);
+    chaos.ingest(&s0).unwrap();
+    chaos.set_cluster_options(ClusterOptions::default().with_fault_plan(Arc::clone(&plan)));
+    let report = chaos
+        .ingest_with_recovery(&s1, &RecoveryPolicy::default())
+        .unwrap();
+
+    assert_eq!(report.retries, 1, "exactly one replay after the crash");
+    assert_eq!(plan.remaining_crashes(), 0);
+    let clean_factors = clean.factors().unwrap().factors();
+    let chaos_factors = chaos.factors().unwrap().factors();
+    for (a, b) in clean_factors.iter().zip(chaos_factors) {
+        assert_eq!(
+            a.max_abs_diff(b).unwrap(),
+            0.0,
+            "recovered factors must be bit-identical to the fault-free run"
+        );
+    }
+}
+
+#[test]
+fn crash_without_recovery_fails_promptly_with_typed_error() {
+    let (s0, s1) = snapshot_pair();
+    let mut sess = StreamingSession::new(cfg(), ExecutionMode::Distributed(ClusterConfig::new(3)));
+    sess.ingest(&s0).unwrap();
+    let steps_before = sess.steps();
+    sess.set_cluster_options(ClusterOptions::default().with_fault_plan(mid_step_crash(1)));
+
+    let started = Instant::now();
+    let err = sess.ingest(&s1).unwrap_err();
+    match &err {
+        TensorError::ClusterFault(msg) => {
+            assert!(msg.contains("worker 1 crashed"), "msg = {msg}");
+            assert!(msg.contains("fault injection"), "msg = {msg}");
+        }
+        other => panic!("expected ClusterFault, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "abort fan-out must beat the 30s receive deadline; took {:?}",
+        started.elapsed()
+    );
+    // The failed step committed nothing.
+    assert_eq!(sess.steps(), steps_before);
+    assert_eq!(sess.shape(), s0.shape());
+}
+
+#[test]
+fn recovery_gives_up_once_the_retry_budget_is_exhausted() {
+    let (s0, s1) = snapshot_pair();
+    let mut sess = StreamingSession::new(cfg(), ExecutionMode::Distributed(ClusterConfig::new(3)));
+    sess.ingest(&s0).unwrap();
+    // Crash fires on the first attempt AND both replays.
+    sess.set_cluster_options(ClusterOptions::default().with_fault_plan(mid_step_crash(3)));
+
+    let policy = RecoveryPolicy::default().with_max_retries(2);
+    let err = sess.ingest_with_recovery(&s1, &policy).unwrap_err();
+    match err {
+        TensorError::ClusterFault(msg) => {
+            assert!(msg.contains("retry budget"), "msg = {msg}")
+        }
+        other => panic!("expected ClusterFault, got {other:?}"),
+    }
+    // A subsequent fault-free attempt still works on the rolled-back state.
+    sess.set_cluster_options(ClusterOptions::default());
+    let report = sess.ingest(&s1).unwrap();
+    assert!(!report.cold_start);
+}
+
+#[test]
+fn on_disk_checkpoint_survives_a_simulated_process_death() {
+    let (s0, s1) = snapshot_pair();
+    let path = std::env::temp_dir().join("dismastd_chaos_ckpt.json");
+    let policy = RecoveryPolicy::default().with_checkpoint_path(&path);
+    let mode = ExecutionMode::Distributed(ClusterConfig::new(2));
+
+    // Fault-free reference.
+    let mut clean = StreamingSession::new(cfg(), mode.clone());
+    clean.ingest(&s0).unwrap();
+    clean.ingest(&s1).unwrap();
+
+    // The "dying" process: checkpoint before the step, then fail it with a
+    // crash schedule that outlives the in-process retry budget.
+    let mut doomed = StreamingSession::new(cfg(), mode);
+    doomed.ingest_with_recovery(&s0, &policy).unwrap();
+    doomed.set_cluster_options(ClusterOptions::default().with_fault_plan(mid_step_crash(5)));
+    let err = doomed
+        .ingest_with_recovery(&s1, &policy.clone().with_max_retries(1))
+        .unwrap_err();
+    assert!(matches!(err, TensorError::ClusterFault(_)));
+    drop(doomed); // process death
+
+    // A fresh process restores the pre-step checkpoint and replays.
+    let mut revived = StreamingSession::restore(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(revived.steps(), 1);
+    revived.ingest(&s1).unwrap();
+    for (a, b) in clean
+        .factors()
+        .unwrap()
+        .factors()
+        .iter()
+        .zip(revived.factors().unwrap().factors())
+    {
+        assert_eq!(a.max_abs_diff(b).unwrap(), 0.0);
+    }
+}

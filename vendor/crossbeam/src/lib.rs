@@ -8,7 +8,7 @@
 
 /// Multi-producer channels (subset of `crossbeam-channel`).
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Sending half (clonable).
     pub type Sender<T> = std::sync::mpsc::Sender<T>;
