@@ -1,5 +1,6 @@
 //! Decomposition configuration.
 
+use dismastd_tensor::{SolvePolicy, ValidationMode};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -7,7 +8,7 @@ use std::path::PathBuf;
 ///
 /// Defaults follow the paper's experimental setup (Sec. V-A): rank `R = 10`,
 /// forgetting factor `μ = 0.8`, at most 10 ALS iterations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct DecompConfig {
     /// CP rank `R` (column count of every factor matrix).
     pub rank: usize,
@@ -23,6 +24,33 @@ pub struct DecompConfig {
     pub tolerance: f64,
     /// Seed for the random initialisation of new factor rows.
     pub seed: u64,
+    /// Numerical-robustness policy (conditioned solves, divergence
+    /// watchdog, ingest validation).  Optional on decode — see the manual
+    /// [`Deserialize`] impl — so checkpoints written before this field
+    /// existed stay readable.
+    pub numerics: NumericsPolicy,
+}
+
+// Hand-written so `numerics` is optional: checkpoints serialized before the
+// robustness layer existed decode to the default policy instead of failing
+// with a missing-field error.
+impl Deserialize for DecompConfig {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::new("expected object for `DecompConfig`"))?;
+        Ok(DecompConfig {
+            rank: Deserialize::from_value(serde::field(obj, "rank")?)?,
+            forgetting: Deserialize::from_value(serde::field(obj, "forgetting")?)?,
+            max_iters: Deserialize::from_value(serde::field(obj, "max_iters")?)?,
+            tolerance: Deserialize::from_value(serde::field(obj, "tolerance")?)?,
+            seed: Deserialize::from_value(serde::field(obj, "seed")?)?,
+            numerics: match serde::field(obj, "numerics") {
+                Ok(nested) => Deserialize::from_value(nested)?,
+                Err(_) => NumericsPolicy::default(),
+            },
+        })
+    }
 }
 
 impl Default for DecompConfig {
@@ -33,6 +61,7 @@ impl Default for DecompConfig {
             max_iters: 10,
             tolerance: 0.0,
             seed: 42,
+            numerics: NumericsPolicy::default(),
         }
     }
 }
@@ -68,6 +97,18 @@ impl DecompConfig {
         self
     }
 
+    /// Returns the config with a different numerics policy.
+    pub fn with_numerics(mut self, numerics: NumericsPolicy) -> Self {
+        self.numerics = numerics;
+        self
+    }
+
+    /// Returns the config with a different ingest validation mode.
+    pub fn with_validation(mut self, mode: ValidationMode) -> Self {
+        self.numerics.validation = mode;
+        self
+    }
+
     /// Validates the parameter ranges.
     ///
     /// # Errors
@@ -85,7 +126,112 @@ impl DecompConfig {
         if self.tolerance < 0.0 {
             return Err("tolerance must be non-negative".into());
         }
+        self.numerics.validate()
+    }
+}
+
+/// Bundle of the numerical-robustness knobs: solve escalation, divergence
+/// watchdog, and ingest validation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NumericsPolicy {
+    /// Escalation ladder for the `R x R` normal-equation solves.
+    pub solver: SolvePolicy,
+    /// Divergence watchdog over the per-step loss trace.
+    pub watchdog: WatchdogPolicy,
+    /// How ingested snapshots are validated (default: Strict — reject
+    /// non-finite values with a typed error naming the coordinate).
+    pub validation: ValidationMode,
+}
+
+impl Default for NumericsPolicy {
+    fn default() -> Self {
+        NumericsPolicy {
+            solver: SolvePolicy::default(),
+            watchdog: WatchdogPolicy::default(),
+            validation: ValidationMode::Strict,
+        }
+    }
+}
+
+impl NumericsPolicy {
+    /// Policy with a different solve-escalation ladder.
+    pub fn with_solver(mut self, solver: SolvePolicy) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Policy with a different watchdog configuration.
+    pub fn with_watchdog(mut self, watchdog: WatchdogPolicy) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Policy with a different ingest validation mode.
+    pub fn with_validation(mut self, mode: ValidationMode) -> Self {
+        self.validation = mode;
+        self
+    }
+
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.solver.condition_limit.is_nan() || self.solver.condition_limit <= 1.0 {
+            return Err("solver.condition_limit must be > 1".into());
+        }
+        if self.solver.ridge_initial.is_nan() || self.solver.ridge_initial <= 0.0 {
+            return Err("solver.ridge_initial must be positive".into());
+        }
+        if self.solver.ridge_growth.is_nan() || self.solver.ridge_growth <= 1.0 {
+            return Err("solver.ridge_growth must be > 1".into());
+        }
+        if self.solver.max_ridge_steps == 0 {
+            return Err("solver.max_ridge_steps must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.watchdog.mu_damping) || self.watchdog.mu_damping == 0.0 {
+            return Err("watchdog.mu_damping must lie in (0, 1]".into());
+        }
+        if self.watchdog.patience == 0 {
+            return Err("watchdog.patience must be >= 1".into());
+        }
+        if self.watchdog.increase_tolerance < 0.0 {
+            return Err("watchdog.increase_tolerance must be non-negative".into());
+        }
         Ok(())
+    }
+}
+
+/// Divergence-watchdog configuration: when a streaming step's loss trace
+/// goes non-finite or keeps rising, the session rolls back to its pre-step
+/// checkpoint, damps the forgetting factor, and retries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogPolicy {
+    /// Master switch; `false` disables divergence monitoring entirely.
+    pub enabled: bool,
+    /// Rollback-and-restart attempts per ingest before a
+    /// `TensorError::Diverged` is propagated.
+    pub max_restarts: usize,
+    /// Multiplier applied to the forgetting factor `μ` on every restart
+    /// (smaller μ trusts the diverging history less).
+    pub mu_damping: f64,
+    /// Consecutive loss increases tolerated before the step is declared
+    /// divergent.
+    pub patience: usize,
+    /// Relative loss increase below which a rise is ignored (ALS noise
+    /// floor).
+    pub increase_tolerance: f64,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy {
+            enabled: true,
+            max_restarts: 2,
+            mu_damping: 0.5,
+            patience: 3,
+            increase_tolerance: 1e-6,
+        }
     }
 }
 
@@ -180,6 +326,53 @@ mod tests {
             .with_forgetting(1.0)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn numerics_defaults_are_valid_and_strict() {
+        let n = NumericsPolicy::default();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.validation, ValidationMode::Strict);
+        assert!(n.watchdog.enabled);
+        assert_eq!(n.watchdog.max_restarts, 2);
+    }
+
+    #[test]
+    fn numerics_validation_rejects_bad_values() {
+        let bad_limit = NumericsPolicy::default().with_solver(SolvePolicy {
+            condition_limit: 1.0,
+            ..SolvePolicy::default()
+        });
+        assert!(bad_limit.validate().is_err());
+        let bad_growth = NumericsPolicy::default().with_solver(SolvePolicy {
+            ridge_growth: 0.5,
+            ..SolvePolicy::default()
+        });
+        assert!(bad_growth.validate().is_err());
+        let bad_damping = NumericsPolicy::default().with_watchdog(WatchdogPolicy {
+            mu_damping: 0.0,
+            ..WatchdogPolicy::default()
+        });
+        assert!(bad_damping.validate().is_err());
+        let bad_patience = NumericsPolicy::default().with_watchdog(WatchdogPolicy {
+            patience: 0,
+            ..WatchdogPolicy::default()
+        });
+        assert!(bad_patience.validate().is_err());
+        // A bad numerics policy fails the whole config.
+        assert!(DecompConfig::default()
+            .with_numerics(bad_patience)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn old_checkpoints_without_numerics_still_decode() {
+        // A config serialised before the numerics field existed.
+        let legacy = r#"{"rank":4,"forgetting":0.8,"max_iters":10,"tolerance":0.0,"seed":42}"#;
+        let cfg: DecompConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg.rank, 4);
+        assert_eq!(cfg.numerics, NumericsPolicy::default());
     }
 
     #[test]

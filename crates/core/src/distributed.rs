@@ -36,7 +36,10 @@ use dismastd_tensor::layout::{fingerprint, MttkrpPlan};
 use dismastd_tensor::linalg::Factorized;
 use dismastd_tensor::matrix::{dot, Matrix};
 use dismastd_tensor::ops::{grand_sum_hadamard, hadamard_skip};
-use dismastd_tensor::{KruskalTensor, Result, SparseTensor, SparseTensorBuilder, TensorError};
+use dismastd_tensor::{
+    KruskalTensor, NumericsReport, Result, RobustSolver, SolveDecision, SparseTensor,
+    SparseTensorBuilder, TensorError,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -123,6 +126,10 @@ pub struct DistOutput {
     pub elapsed: Duration,
     /// Wall-clock of the ALS iteration loop alone.
     pub iter_elapsed: Duration,
+    /// Solver-tier escalations of the normal-equation solves.  Decisions
+    /// are made once (rank 0) and broadcast, so this is also what every
+    /// other rank applied.
+    pub numerics: NumericsReport,
 }
 
 impl DistOutput {
@@ -399,8 +406,11 @@ fn run_distributed(
         iterations,
         factors,
         iter_elapsed,
-    } = results.swap_remove(0);
-    let factors = factors.expect("rank 0 assembles the final factors");
+        numerics,
+    } = results.swap_remove(0)?;
+    let factors = factors.ok_or_else(|| {
+        TensorError::InvalidArgument("rank 0 did not assemble the final factors".into())
+    })?;
 
     Ok(DistOutput {
         kruskal: KruskalTensor::new(factors)?,
@@ -410,6 +420,7 @@ fn run_distributed(
         setup_bytes,
         elapsed: start.elapsed(),
         iter_elapsed,
+        numerics,
     })
 }
 
@@ -419,6 +430,71 @@ struct WorkerResult {
     /// `Some` on rank 0 only: the gathered final factors.
     factors: Option<Vec<Matrix>>,
     iter_elapsed: Duration,
+    /// Rank 0's record of the broadcast solver decisions (zeroed elsewhere).
+    numerics: NumericsReport,
+}
+
+/// Converts a fallible tensor-numerics expression into worker control flow:
+/// the error is carried in the worker's *payload* (`Ok(Err(..))`), so the
+/// cluster run itself completes and rank 0's typed error is surfaced.
+macro_rules! try_num {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(err) => return Ok(Err(err.into())),
+        }
+    };
+}
+
+/// Slot layout of the per-mode solver-decision broadcast:
+/// `[err, has0, tier0, λ0, cond0, has1, tier1, λ1, cond1]`.
+const DECISION_SLOTS: usize = 1 + 2 * (1 + SolveDecision::ENCODED_LEN);
+
+/// Rank 0 assesses both Eq. 5 denominators and packs its decisions.
+fn encode_decisions(
+    solver: &RobustSolver,
+    d0: &Matrix,
+    d1: &Matrix,
+    has0: bool,
+    has1: bool,
+) -> Result<Vec<f64>> {
+    let mut slots = vec![0.0f64; DECISION_SLOTS];
+    if has0 {
+        let dec = solver.decide(d0)?;
+        slots[1] = 1.0;
+        dec.encode(&mut slots[2..2 + SolveDecision::ENCODED_LEN]);
+    }
+    if has1 {
+        let dec = solver.decide(d1)?;
+        slots[5] = 1.0;
+        dec.encode(&mut slots[6..6 + SolveDecision::ENCODED_LEN]);
+    }
+    Ok(slots)
+}
+
+/// Unpacks the broadcast decisions on every rank.
+fn decode_decisions(slots: &[f64]) -> Result<(Option<SolveDecision>, Option<SolveDecision>)> {
+    if slots.len() != DECISION_SLOTS {
+        return Err(TensorError::InvalidArgument(format!(
+            "decision broadcast carried {} slots, expected {DECISION_SLOTS}",
+            slots.len()
+        )));
+    }
+    let dec0 = if slots[1] != 0.0 {
+        Some(SolveDecision::decode(
+            &slots[2..2 + SolveDecision::ENCODED_LEN],
+        )?)
+    } else {
+        None
+    };
+    let dec1 = if slots[5] != 0.0 {
+        Some(SolveDecision::decode(
+            &slots[6..6 + SolveDecision::ENCODED_LEN],
+        )?)
+    } else {
+        None
+    };
+    Ok((dec0, dec1))
 }
 
 /// Per-worker scratch space for the Gram rebuild: the three `R×R`
@@ -454,13 +530,15 @@ fn worker_body(
     old_norm_sq: f64,
     tensor_norm_sq: f64,
     pooling: bool,
-) -> ClusterResult<WorkerResult> {
+) -> ClusterResult<std::result::Result<WorkerResult, TensorError>> {
     let me = ctx.rank();
     let world = ctx.world();
     let plan = &plans[me];
     let order = init.len();
     let r = cfg.rank;
     let mu = cfg.forgetting;
+    let solver = RobustSolver::new(cfg.numerics.solver);
+    let mut numerics = NumericsReport::default();
 
     // Replicated factor copies; only owned ∪ referenced rows stay fresh.
     let mut factors: Vec<Matrix> = init.as_ref().clone();
@@ -504,8 +582,7 @@ fn worker_body(
             // into `hat[n]`, touching every output row once per cell.
             hat[n].fill_zero();
             for cell in &plan.cells {
-                cell.mttkrp_into(&factors, n, &mut hat[n])
-                    .expect("plans validated against factor shapes");
+                try_num!(cell.mttkrp_into(&factors, n, &mut hat[n]));
             }
 
             // -- route partials to row owners ------------------------------
@@ -529,22 +606,69 @@ fn worker_body(
             }
 
             // -- 2. owners update their rows (Eq. 5, row-wise) -------------
-            let totals: Vec<Matrix> = (0..order)
-                .map(|k| state.total(k).expect("gram shapes agree"))
-                .collect();
-            let d1 = hadamard_skip(&totals, n).expect("order >= 2");
+            let mut totals: Vec<Matrix> = Vec::with_capacity(order);
+            for k in 0..order {
+                totals.push(try_num!(state.total(k)));
+            }
+            let d1 = try_num!(hadamard_skip(&totals, n));
             let d0 = {
-                let g0_had = hadamard_skip(&state.gram0, n).expect("order >= 2");
-                d1.sub(&g0_had.scale(1.0 - mu)).expect("same shape")
+                let g0_had = try_num!(hadamard_skip(&state.gram0, n));
+                try_num!(d1.sub(&g0_had.scale(1.0 - mu)))
             };
-            let f1 = Factorized::new(&d1).expect("denominator invertible");
-            let f0 = Factorized::new(&d0).expect("denominator invertible");
-            let cross_had = hadamard_skip(&state.cross, n).expect("order >= 2");
             let old_n = old_rows[n];
+
+            // Solver decisions are made once, on rank 0, and broadcast, so
+            // every rank applies the identical tier and ridge shift and the
+            // replicated factors stay bit-for-bit in sync.  `d0` is only
+            // solved against when the mode has old rows, `d1` only when it
+            // has new rows — mirroring the serial block updates.
+            let has0 = old_n > 0;
+            let has1 = factors[n].rows() > old_n;
+            let payload = if me == 0 {
+                let slots = match encode_decisions(&solver, &d0, &d1, has0, has1) {
+                    Ok(slots) => slots,
+                    Err(err) => {
+                        // Unblock the peers with an error flag, then surface
+                        // the typed numeric failure from rank 0.
+                        let mut slots = vec![0.0f64; DECISION_SLOTS];
+                        slots[0] = 1.0;
+                        ctx.try_broadcast(0, Some(Payload::F64(slots)))?;
+                        return Ok(Err(err));
+                    }
+                };
+                ctx.try_broadcast(0, Some(Payload::F64(slots)))?
+            } else {
+                ctx.try_broadcast(0, None)?
+            };
+            let slots = payload.try_into_f64()?;
+            if slots.first().copied().unwrap_or(1.0) != 0.0 {
+                return Ok(Err(TensorError::Singular {
+                    solver: "distributed-decision-broadcast",
+                }));
+            }
+            let (dec0, dec1) = try_num!(decode_decisions(&slots));
+            if me == 0 {
+                if let Some(d) = &dec0 {
+                    numerics.record(d);
+                }
+                if let Some(d) = &dec1 {
+                    numerics.record(d);
+                }
+            }
+            let f0: Option<Factorized> = match &dec0 {
+                Some(d) => Some(try_num!(solver.factorize(&d0, d))),
+                None => None,
+            };
+            let f1: Option<Factorized> = match &dec1 {
+                Some(d) => Some(try_num!(solver.factorize(&d1, d))),
+                None => None,
+            };
+
+            let cross_had = try_num!(hadamard_skip(&state.cross, n));
             let mut row_buf = vec![0.0f64; r];
             for &row in &plan.owned_rows[n] {
                 let row = row as usize;
-                if row < old_n {
+                let fact = if row < old_n {
                     // μ Ã_n[i,:] (⊛ G̃) + Â[i,:], then ·D0⁻¹.
                     let old_row = old[n].row(row);
                     for (c, slot) in row_buf.iter_mut().enumerate() {
@@ -554,10 +678,18 @@ fn worker_body(
                         }
                         *slot = mu * acc + hat[n].get(row, c);
                     }
-                    f0.solve_in_place(&mut row_buf);
+                    &f0
                 } else {
                     row_buf.copy_from_slice(hat[n].row(row));
-                    f1.solve_in_place(&mut row_buf);
+                    &f1
+                };
+                match fact {
+                    Some(f) => try_num!(f.solve_in_place(&mut row_buf)),
+                    None => {
+                        return Ok(Err(TensorError::InvalidArgument(format!(
+                            "mode {n}: owned row {row} has no broadcast factorization"
+                        ))))
+                    }
                 }
                 factors[n].row_mut(row).copy_from_slice(&row_buf);
             }
@@ -599,7 +731,7 @@ fn worker_body(
         }
         iterations += 1;
         let inner = ctx.try_allreduce_sum_scalar(inner_partial)?;
-        let loss = dtd_loss(
+        let loss = try_num!(dtd_loss(
             &state,
             &LossParts {
                 mu,
@@ -607,8 +739,7 @@ fn worker_body(
                 complement_norm_sq: tensor_norm_sq,
                 inner,
             },
-        )
-        .expect("replicated gram state is consistent");
+        ));
         loss_trace.push(loss);
         if converged(&loss_trace, cfg.tolerance) {
             break;
@@ -619,12 +750,13 @@ fn worker_body(
     // ---- gather the owned rows of every factor to rank 0 ----------------
     let factors_out = gather_factors(ctx, plans, &factors, init)?;
 
-    Ok(WorkerResult {
+    Ok(Ok(WorkerResult {
         loss_trace,
         iterations,
         factors: factors_out,
         iter_elapsed,
-    })
+        numerics,
+    }))
 }
 
 /// Packs the listed rows of `m` into one contiguous buffer drawn from the

@@ -16,11 +16,12 @@
 
 use crate::config::DecompConfig;
 use crate::loss::{dtd_loss, GramState, LossParts};
-use dismastd_tensor::linalg::solve_right;
 use dismastd_tensor::matrix::Matrix;
 use dismastd_tensor::mttkrp::{inner_from_mttkrp, mttkrp};
 use dismastd_tensor::ops::{grand_sum_hadamard, hadamard_skip};
-use dismastd_tensor::{KruskalTensor, Result, SparseTensor, TensorError};
+use dismastd_tensor::{
+    KruskalTensor, NumericsReport, Result, RobustSolver, SparseTensor, TensorError,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -33,6 +34,8 @@ pub struct DtdOutput {
     pub iterations: usize,
     /// Eq. 4 loss after every iteration.
     pub loss_trace: Vec<f64>,
+    /// Which solver tiers the normal-equation solves escalated through.
+    pub numerics: NumericsReport,
 }
 
 /// Stacks the previous factors over seeded-random new rows — Alg. 1 lines
@@ -132,6 +135,8 @@ pub fn dtd(
     };
     let complement_norm_sq = complement.norm_sq();
 
+    let solver = RobustSolver::new(cfg.numerics.solver);
+    let mut numerics = NumericsReport::default();
     let mut loss_trace = Vec::with_capacity(cfg.max_iters);
     let mut iterations = 0;
     for _iter in 0..cfg.max_iters {
@@ -160,14 +165,14 @@ pub fn dtd(
                 let mut num0 = old_factors[n].matmul(&cross_had)?;
                 num0.scale_assign(cfg.forgetting);
                 num0.add_assign(&hat0)?;
-                solve_right(&num0, &d0)?
+                solver.solve_right(&num0, &d0, &mut numerics)?
             } else {
                 Matrix::zeros(0, cfg.rank)
             };
 
             // A_n^(1): Â^(1) divided by D1.
             let a1 = if hat1.rows() > 0 {
-                solve_right(&hat1, &d1)?
+                solver.solve_right(&hat1, &d1, &mut numerics)?
             } else {
                 Matrix::zeros(0, cfg.rank)
             };
@@ -210,6 +215,7 @@ pub fn dtd(
         kruskal: KruskalTensor::new(factors)?,
         iterations,
         loss_trace,
+        numerics,
     })
 }
 
@@ -430,6 +436,20 @@ mod tests {
         let x = SparseTensor::empty(vec![4, 4]).unwrap();
         let out = dtd(&x, &old, &cfg(2)).unwrap();
         assert_eq!(out.kruskal.shape(), vec![4, 4]);
+    }
+
+    #[test]
+    fn numerics_report_counts_solves() {
+        let old_shape = [3usize, 3];
+        let old = random_old_factors(&old_shape, 2, 8);
+        let x = random_complement(&old_shape, &[5, 5], 20, 9);
+        let out = dtd(&x, &old, &cfg(2).with_max_iters(3)).unwrap();
+        // Both blocks are present in both modes, so every iteration issues
+        // two solves per mode.
+        let total =
+            out.numerics.cholesky_solves + out.numerics.lu_solves + out.numerics.ridge_solves;
+        assert_eq!(total, 2 * 2 * 3);
+        assert!(!out.numerics.escalated());
     }
 
     #[test]

@@ -34,8 +34,11 @@ pub mod onlinecp;
 pub mod rank;
 pub mod session;
 
-pub use config::{DecompConfig, RecoveryPolicy};
+pub use config::{DecompConfig, NumericsPolicy, RecoveryPolicy, WatchdogPolicy};
 pub use dismastd_cluster::{ClusterError, ClusterOptions, FaultPlan};
+pub use dismastd_tensor::{
+    NumericsReport, QuarantineCounts, SolvePolicy, SolveTier, ValidationMode,
+};
 pub use distributed::{
     dismastd, dismastd_with_cache, dismastd_with_opts, dms_mg, dms_mg_with_cache, dms_mg_with_opts,
     ClusterConfig, DistOutput, PlanCache,

@@ -17,12 +17,17 @@
 //! reproduces the fault-free factors bit for bit.
 
 use crate::als::cp_als;
-use crate::config::{DecompConfig, RecoveryPolicy};
+use crate::config::{DecompConfig, RecoveryPolicy, WatchdogPolicy};
 use crate::distributed::{dismastd_with_opts, dms_mg_with_opts, ClusterConfig, PlanCache};
 use crate::dtd::dtd;
 use dismastd_cluster::{ClusterOptions, CommStatsSnapshot};
-use dismastd_tensor::{KruskalTensor, Result, SparseTensor, TensorError};
+use dismastd_tensor::matrix::Matrix;
+use dismastd_tensor::{
+    KruskalTensor, NumericsReport, Result, SparseTensor, SparseTensorBuilder, TensorError,
+    ValidationMode,
+};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::time::{Duration, Instant};
 
 /// Where the per-snapshot decomposition executes.
@@ -63,6 +68,18 @@ pub struct StepReport {
     /// Cluster-fault replays this step needed (0 on the fault-free path;
     /// only [`StreamingSession::ingest_with_recovery`] can report more).
     pub retries: usize,
+    /// Snapshot entries dropped by
+    /// [`ValidationMode::Quarantine`] ingest validation (always 0 under
+    /// `Strict`, which errors instead, and under `Off`).
+    pub quarantined: u64,
+    /// Divergence-watchdog restarts this step needed (each one re-runs the
+    /// decomposition with a damped forgetting factor).
+    pub watchdog_restarts: usize,
+    /// Forgetting factor `μ` actually used by the successful attempt
+    /// (`cfg.forgetting` unless the watchdog damped it).
+    pub effective_forgetting: f64,
+    /// Solver-tier escalations across all attempts of this step.
+    pub numerics: NumericsReport,
 }
 
 /// The durable state of a [`StreamingSession`], as written by
@@ -376,9 +393,19 @@ impl StreamingSession {
     /// snapshot triggers a full decomposition, later ones run DTD over the
     /// complement only.
     ///
+    /// The step runs under the session's [`crate::NumericsPolicy`]: the
+    /// snapshot passes ingest validation first (non-finite entries error
+    /// under `Strict`, are dropped and counted under `Quarantine`), and the
+    /// decomposition is supervised by the divergence watchdog, which
+    /// re-runs a diverging attempt with a damped forgetting factor up to
+    /// `watchdog.max_restarts` times before giving up.
+    ///
     /// # Errors
-    /// Returns [`TensorError::InvalidArgument`] for non-monotone snapshots;
-    /// propagates solver errors.
+    /// Returns [`TensorError::InvalidArgument`] for non-monotone snapshots,
+    /// [`TensorError::NonFiniteValue`] for invalid data under `Strict`
+    /// validation, and [`TensorError::Diverged`] when the watchdog's
+    /// restart budget is exhausted; propagates solver errors.  On error the
+    /// session state is untouched and stays usable.
     pub fn ingest(&mut self, snapshot: &SparseTensor) -> Result<StepReport> {
         let started = Instant::now();
         let cold_start = self.factors.is_none();
@@ -400,81 +427,74 @@ impl StreamingSession {
             }
         }
 
-        let (kruskal, iterations, loss, comm, iter_elapsed, processed_nnz) = if cold_start {
-            match &self.mode {
-                ExecutionMode::Serial => {
-                    let out = cp_als(snapshot, &self.cfg)?;
-                    let loss = out.loss_trace.last().copied().unwrap_or(0.0);
-                    let elapsed = started.elapsed();
-                    (
-                        out.kruskal,
-                        out.iterations,
-                        loss,
-                        None,
-                        elapsed,
-                        snapshot.nnz(),
-                    )
-                }
-                ExecutionMode::Distributed(cc) => {
-                    let out = dms_mg_with_opts(
-                        snapshot,
-                        &self.cfg,
-                        cc,
-                        &self.cluster_opts,
-                        &mut self.plan_cache,
-                    )?;
-                    let loss = out.loss_trace.last().copied().unwrap_or(0.0);
-                    (
-                        out.kruskal,
-                        out.iterations,
-                        loss,
-                        Some(out.comm),
-                        out.iter_elapsed,
-                        snapshot.nnz(),
-                    )
-                }
-            }
+        // ---- validated ingest -------------------------------------------
+        let (snapshot, quarantined) = validate_snapshot(snapshot, self.cfg.numerics.validation)?;
+        let snapshot = snapshot.as_ref();
+
+        // The tensor the solver actually sees: the full snapshot on a cold
+        // start, the relative complement `X \ X̃` afterwards.
+        let work: Cow<'_, SparseTensor> = if cold_start {
+            Cow::Borrowed(snapshot)
         } else {
-            let complement = snapshot.complement(&self.shape)?;
-            let nnz = complement.nnz();
-            let old = self
-                .factors
-                .as_ref()
-                .expect("checked not cold start")
-                .factors();
-            match &self.mode {
-                ExecutionMode::Serial => {
-                    let out = dtd(&complement, old, &self.cfg)?;
-                    let loss = out.loss_trace.last().copied().unwrap_or(0.0);
-                    let elapsed = started.elapsed();
-                    (out.kruskal, out.iterations, loss, None, elapsed, nnz)
+            Cow::Owned(snapshot.complement(&self.shape)?)
+        };
+        let processed_nnz = work.nnz();
+
+        // ---- decomposition under the divergence watchdog ----------------
+        let wd = self.cfg.numerics.watchdog;
+        let mut step_cfg = self.cfg;
+        let mut restarts = 0usize;
+        let mut numerics = NumericsReport::default();
+        let outcome = loop {
+            let attempt = match self.decompose_once(&work, &step_cfg, cold_start) {
+                Ok(a) => a,
+                Err(e) if wd.enabled && is_numeric_failure(&e) => {
+                    // The solver gave up (singular system, non-finite
+                    // pivot/value): same treatment as an observed
+                    // divergence — damp μ and retry within budget.
+                    if restarts >= wd.max_restarts {
+                        return Err(TensorError::Diverged {
+                            restarts,
+                            detail: e.to_string(),
+                        });
+                    }
+                    restarts += 1;
+                    step_cfg.forgetting *= wd.mu_damping;
+                    continue;
                 }
-                ExecutionMode::Distributed(cc) => {
-                    let out = dismastd_with_opts(
-                        &complement,
-                        old,
-                        &self.cfg,
-                        cc,
-                        &self.cluster_opts,
-                        &mut self.plan_cache,
-                    )?;
-                    let loss = out.loss_trace.last().copied().unwrap_or(0.0);
-                    (
-                        out.kruskal,
-                        out.iterations,
-                        loss,
-                        Some(out.comm),
-                        out.iter_elapsed,
-                        nnz,
-                    )
+                Err(e) => return Err(e),
+            };
+            numerics.absorb(&attempt.numerics);
+            let verdict = if wd.enabled {
+                divergence_verdict(&attempt.loss_trace, attempt.kruskal.factors(), &wd)
+            } else {
+                None
+            };
+            match verdict {
+                None => break attempt,
+                Some(reason) => {
+                    // The attempt's traffic happened whether or not its
+                    // numbers were usable.
+                    if let Some(c) = &attempt.comm {
+                        self.comm_totals.merge(c);
+                    }
+                    if restarts >= wd.max_restarts {
+                        return Err(TensorError::Diverged {
+                            restarts,
+                            detail: reason,
+                        });
+                    }
+                    restarts += 1;
+                    step_cfg.forgetting *= wd.mu_damping;
                 }
             }
         };
 
+        let loss = outcome.loss_trace.last().copied().unwrap_or(0.0);
         let fit = if snapshot.is_empty() {
             1.0
         } else {
-            kruskal.fit(snapshot)?
+            outcome.kruskal.fit(snapshot)?
         };
         let report = StepReport {
             step: self.step,
@@ -482,26 +502,203 @@ impl StreamingSession {
             snapshot_shape: snapshot.shape().to_vec(),
             snapshot_nnz: snapshot.nnz(),
             processed_nnz,
-            iterations,
+            iterations: outcome.iterations,
             loss,
             fit,
             elapsed: started.elapsed(),
-            time_per_iter: if iterations == 0 {
+            time_per_iter: if outcome.iterations == 0 {
                 Duration::ZERO
             } else {
-                iter_elapsed / iterations as u32
+                outcome.iter_elapsed / outcome.iterations as u32
             },
-            comm,
+            comm: outcome.comm,
             retries: 0,
+            quarantined,
+            watchdog_restarts: restarts,
+            effective_forgetting: step_cfg.forgetting,
+            numerics,
         };
         if let Some(c) = &report.comm {
             self.comm_totals.merge(c);
         }
-        self.factors = Some(kruskal);
+        self.factors = Some(outcome.kruskal);
         self.shape = snapshot.shape().to_vec();
         self.step += 1;
         Ok(report)
     }
+
+    /// One decomposition attempt over `work` (the full snapshot on a cold
+    /// start, the complement otherwise).  Pure with respect to the durable
+    /// session state — only the plan cache warms up — so the watchdog can
+    /// discard an attempt and retry.
+    fn decompose_once(
+        &mut self,
+        work: &SparseTensor,
+        cfg: &DecompConfig,
+        cold_start: bool,
+    ) -> Result<AttemptOutcome> {
+        let attempt_start = Instant::now();
+        if cold_start {
+            match &self.mode {
+                ExecutionMode::Serial => {
+                    let out = cp_als(work, cfg)?;
+                    Ok(AttemptOutcome {
+                        kruskal: out.kruskal,
+                        iterations: out.iterations,
+                        loss_trace: out.loss_trace,
+                        comm: None,
+                        iter_elapsed: attempt_start.elapsed(),
+                        numerics: out.numerics,
+                    })
+                }
+                ExecutionMode::Distributed(cc) => {
+                    let out =
+                        dms_mg_with_opts(work, cfg, cc, &self.cluster_opts, &mut self.plan_cache)?;
+                    Ok(AttemptOutcome {
+                        kruskal: out.kruskal,
+                        iterations: out.iterations,
+                        loss_trace: out.loss_trace,
+                        comm: Some(out.comm),
+                        iter_elapsed: out.iter_elapsed,
+                        numerics: out.numerics,
+                    })
+                }
+            }
+        } else {
+            let old = match &self.factors {
+                Some(k) => k.factors(),
+                None => {
+                    return Err(TensorError::InvalidArgument(
+                        "warm step without previous factors".into(),
+                    ))
+                }
+            };
+            match &self.mode {
+                ExecutionMode::Serial => {
+                    let out = dtd(work, old, cfg)?;
+                    Ok(AttemptOutcome {
+                        kruskal: out.kruskal,
+                        iterations: out.iterations,
+                        loss_trace: out.loss_trace,
+                        comm: None,
+                        iter_elapsed: attempt_start.elapsed(),
+                        numerics: out.numerics,
+                    })
+                }
+                ExecutionMode::Distributed(cc) => {
+                    let out = dismastd_with_opts(
+                        work,
+                        old,
+                        cfg,
+                        cc,
+                        &self.cluster_opts,
+                        &mut self.plan_cache,
+                    )?;
+                    Ok(AttemptOutcome {
+                        kruskal: out.kruskal,
+                        iterations: out.iterations,
+                        loss_trace: out.loss_trace,
+                        comm: Some(out.comm),
+                        iter_elapsed: out.iter_elapsed,
+                        numerics: out.numerics,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// What one watchdog-supervised decomposition attempt produced.
+struct AttemptOutcome {
+    kruskal: KruskalTensor,
+    iterations: usize,
+    loss_trace: Vec<f64>,
+    comm: Option<CommStatsSnapshot>,
+    iter_elapsed: Duration,
+    numerics: NumericsReport,
+}
+
+/// Applies the configured ingest validation, returning the tensor to
+/// decompose and the number of quarantined entries.
+///
+/// Built tensors cannot contain duplicates or out-of-bounds coordinates,
+/// so at this layer validation is about non-finite values: `Strict` errors
+/// on the first one (naming its coordinate), `Quarantine` rebuilds the
+/// tensor without them, `Off` passes everything through.  The common
+/// all-finite case borrows the input — no copy.
+fn validate_snapshot(
+    snapshot: &SparseTensor,
+    mode: ValidationMode,
+) -> Result<(Cow<'_, SparseTensor>, u64)> {
+    match mode {
+        ValidationMode::Off => Ok((Cow::Borrowed(snapshot), 0)),
+        ValidationMode::Strict => {
+            for (idx, v) in snapshot.iter() {
+                if !v.is_finite() {
+                    return Err(TensorError::NonFiniteValue {
+                        index: idx.to_vec(),
+                        value: v,
+                    });
+                }
+            }
+            Ok((Cow::Borrowed(snapshot), 0))
+        }
+        ValidationMode::Quarantine => {
+            if snapshot.iter().all(|(_, v)| v.is_finite()) {
+                return Ok((Cow::Borrowed(snapshot), 0));
+            }
+            let mut b =
+                SparseTensorBuilder::with_capacity(snapshot.shape().to_vec(), snapshot.nnz())
+                    .with_validation(ValidationMode::Quarantine);
+            for (idx, v) in snapshot.iter() {
+                b.push(idx, v)?;
+            }
+            let (clean, counts) = b.build_with_report()?;
+            Ok((Cow::Owned(clean), counts.total()))
+        }
+    }
+}
+
+/// True for errors that mean "the numbers went bad" — the class the
+/// watchdog retries with a damped forgetting factor.  Structural errors
+/// (shapes, arguments, cluster faults) propagate immediately instead.
+fn is_numeric_failure(e: &TensorError) -> bool {
+    matches!(
+        e,
+        TensorError::Singular { .. }
+            | TensorError::NonFinitePivot { .. }
+            | TensorError::NonFiniteValue { .. }
+    )
+}
+
+/// `Some(reason)` when the attempt's loss trace or factors show divergence:
+/// any non-finite value, or `patience` consecutive iterations of loss
+/// increase beyond the relative tolerance.
+fn divergence_verdict(trace: &[f64], factors: &[Matrix], wd: &WatchdogPolicy) -> Option<String> {
+    for (i, &l) in trace.iter().enumerate() {
+        if !l.is_finite() {
+            return Some(format!("non-finite loss {l} at iteration {i}"));
+        }
+    }
+    for (n, f) in factors.iter().enumerate() {
+        if f.as_slice().iter().any(|v| !v.is_finite()) {
+            return Some(format!("non-finite entries in mode-{n} factor"));
+        }
+    }
+    let mut streak = 0usize;
+    for w in trace.windows(2) {
+        if w[1] > w[0] + wd.increase_tolerance * (1.0 + w[0].abs()) {
+            streak += 1;
+            if streak >= wd.patience {
+                return Some(format!(
+                    "loss increased for {streak} consecutive iterations"
+                ));
+            }
+        } else {
+            streak = 0;
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -744,6 +941,78 @@ mod tests {
             .unwrap_err();
         assert!(!matches!(err, TensorError::ClusterFault(_)));
         assert_eq!(sess.steps(), 1);
+    }
+
+    #[test]
+    fn divergence_verdict_flags_the_right_traces() {
+        let wd = WatchdogPolicy::default(); // patience 3
+        let ok: Vec<Matrix> = vec![Matrix::zeros(2, 2)];
+        assert!(divergence_verdict(&[3.0, 2.0, 1.5], &ok, &wd).is_none());
+        // Non-finite loss.
+        assert!(divergence_verdict(&[3.0, f64::NAN], &ok, &wd)
+            .unwrap()
+            .contains("non-finite loss"));
+        // Non-finite factor entry.
+        let mut bad = Matrix::zeros(2, 2);
+        bad.as_mut_slice()[3] = f64::INFINITY;
+        assert!(divergence_verdict(&[1.0], &[bad], &wd)
+            .unwrap()
+            .contains("mode-0 factor"));
+        // Sustained increase trips only after `patience` consecutive rises.
+        assert!(divergence_verdict(&[1.0, 2.0, 3.0], &ok, &wd).is_none()); // 2 rises
+        assert!(divergence_verdict(&[1.0, 2.0, 3.0, 4.0], &ok, &wd).is_some()); // 3 rises
+                                                                                // A single improvement resets the streak.
+        assert!(divergence_verdict(&[1.0, 2.0, 3.0, 2.5, 3.5, 4.5], &ok, &wd).is_none());
+    }
+
+    #[test]
+    fn validate_snapshot_modes() {
+        let mut b = SparseTensorBuilder::new(vec![3, 3]);
+        b.push(&[0, 0], 1.0).unwrap();
+        b.push(&[1, 2], f64::NAN).unwrap();
+        b.push(&[2, 2], 2.0).unwrap();
+        let dirty = b.build().unwrap();
+
+        // Strict errors, naming the offending coordinate.
+        match validate_snapshot(&dirty, ValidationMode::Strict) {
+            Err(TensorError::NonFiniteValue { index, .. }) => assert_eq!(index, vec![1, 2]),
+            other => panic!("expected NonFiniteValue, got {other:?}"),
+        }
+        // Quarantine drops and counts it.
+        let (clean, dropped) = validate_snapshot(&dirty, ValidationMode::Quarantine).unwrap();
+        assert_eq!(dropped, 1);
+        assert_eq!(clean.nnz(), 2);
+        // Off passes the NaN through, borrowing the input.
+        let (raw, dropped) = validate_snapshot(&dirty, ValidationMode::Off).unwrap();
+        assert_eq!(dropped, 0);
+        assert!(matches!(raw, Cow::Borrowed(_)));
+
+        // An already-clean tensor is borrowed in every mode.
+        let mut b = SparseTensorBuilder::new(vec![2, 2]);
+        b.push(&[0, 1], 1.0).unwrap();
+        let clean_in = b.build().unwrap();
+        for mode in [
+            ValidationMode::Strict,
+            ValidationMode::Quarantine,
+            ValidationMode::Off,
+        ] {
+            let (t, dropped) = validate_snapshot(&clean_in, mode).unwrap();
+            assert_eq!(dropped, 0);
+            assert!(matches!(t, Cow::Borrowed(_)));
+        }
+    }
+
+    #[test]
+    fn step_report_carries_numerics_and_watchdog_fields() {
+        let (s0, s1) = snapshot_pair();
+        let mut sess = StreamingSession::new(cfg(), ExecutionMode::Serial);
+        let r0 = sess.ingest(&s0).unwrap();
+        assert_eq!(r0.quarantined, 0);
+        assert_eq!(r0.watchdog_restarts, 0);
+        assert_eq!(r0.effective_forgetting, cfg().forgetting);
+        assert!(r0.numerics.cholesky_solves > 0);
+        let r1 = sess.ingest(&s1).unwrap();
+        assert!(!r1.numerics.escalated());
     }
 
     #[test]

@@ -267,6 +267,40 @@ impl SparseTensor {
     }
 }
 
+/// How [`SparseTensorBuilder`] treats suspect entries (non-finite values,
+/// out-of-bounds indices, duplicate coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ValidationMode {
+    /// Reject with a typed error naming the offending coordinate.
+    Strict,
+    /// Silently drop the offending entry and count it (first write wins for
+    /// duplicates).
+    Quarantine,
+    /// Legacy semantics: non-finite values are stored as-is and duplicates
+    /// are merged by summation.  Out-of-bounds indices still error — they
+    /// violate the shape contract, not just data hygiene.
+    #[default]
+    Off,
+}
+
+/// Tally of entries dropped under [`ValidationMode::Quarantine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QuarantineCounts {
+    /// NaN/Inf values dropped.
+    pub non_finite: u64,
+    /// Out-of-bounds indices dropped.
+    pub out_of_bounds: u64,
+    /// Duplicate coordinates dropped (first write wins).
+    pub duplicates: u64,
+}
+
+impl QuarantineCounts {
+    /// Total entries quarantined.
+    pub fn total(&self) -> u64 {
+        self.non_finite + self.out_of_bounds + self.duplicates
+    }
+}
+
 /// Binary search over flattened index tuples, comparing lexicographically.
 fn binary_search_tuples(
     flat: &[usize],
@@ -307,6 +341,8 @@ fn binary_search_tuples(
 pub struct SparseTensorBuilder {
     shape: Vec<usize>,
     entries: Vec<(Vec<usize>, f64)>,
+    mode: ValidationMode,
+    counts: QuarantineCounts,
 }
 
 impl SparseTensorBuilder {
@@ -315,6 +351,8 @@ impl SparseTensorBuilder {
         SparseTensorBuilder {
             shape,
             entries: Vec::new(),
+            mode: ValidationMode::Off,
+            counts: QuarantineCounts::default(),
         }
     }
 
@@ -323,19 +361,57 @@ impl SparseTensorBuilder {
         SparseTensorBuilder {
             shape,
             entries: Vec::with_capacity(n),
+            mode: ValidationMode::Off,
+            counts: QuarantineCounts::default(),
         }
+    }
+
+    /// Selects how suspect entries are treated (default:
+    /// [`ValidationMode::Off`], the legacy merge-by-sum semantics).
+    #[must_use]
+    pub fn with_validation(mut self, mode: ValidationMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Queues one entry.
     ///
     /// # Errors
-    /// Returns [`TensorError::IndexOutOfBounds`] for indices outside the shape.
+    /// Returns [`TensorError::IndexOutOfBounds`] for indices outside the
+    /// shape (quarantined instead under [`ValidationMode::Quarantine`]), and
+    /// [`TensorError::NonFiniteValue`] for a NaN/Inf value under
+    /// [`ValidationMode::Strict`].
     pub fn push(&mut self, idx: &[usize], value: f64) -> Result<&mut Self> {
-        if idx.len() != self.shape.len() || idx.iter().zip(&self.shape).any(|(i, s)| i >= s) {
+        if idx.len() != self.shape.len() {
             return Err(TensorError::IndexOutOfBounds {
                 index: idx.to_vec(),
                 shape: self.shape.clone(),
             });
+        }
+        if idx.iter().zip(&self.shape).any(|(i, s)| i >= s) {
+            if self.mode == ValidationMode::Quarantine {
+                self.counts.out_of_bounds += 1;
+                return Ok(self);
+            }
+            return Err(TensorError::IndexOutOfBounds {
+                index: idx.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        if !value.is_finite() {
+            match self.mode {
+                ValidationMode::Strict => {
+                    return Err(TensorError::NonFiniteValue {
+                        index: idx.to_vec(),
+                        value,
+                    });
+                }
+                ValidationMode::Quarantine => {
+                    self.counts.non_finite += 1;
+                    return Ok(self);
+                }
+                ValidationMode::Off => {}
+            }
         }
         self.entries.push((idx.to_vec(), value));
         Ok(self)
@@ -351,29 +427,53 @@ impl SparseTensorBuilder {
         self.entries.is_empty()
     }
 
-    /// Finalises the tensor: sorts, merges duplicates, drops zeros.
+    /// Finalises the tensor: sorts, resolves duplicates per the validation
+    /// mode, drops zeros.
     ///
     /// # Errors
-    /// Returns [`TensorError::EmptyShape`] for a zero-order shape.
-    pub fn build(mut self) -> Result<SparseTensor> {
+    /// Returns [`TensorError::EmptyShape`] for a zero-order shape, and
+    /// [`TensorError::DuplicateIndex`] for a duplicated coordinate under
+    /// [`ValidationMode::Strict`].
+    pub fn build(self) -> Result<SparseTensor> {
+        self.build_with_report().map(|(t, _)| t)
+    }
+
+    /// Like [`SparseTensorBuilder::build`], additionally returning the tally
+    /// of entries quarantined during `push` and duplicate resolution.
+    ///
+    /// # Errors
+    /// Same conditions as [`SparseTensorBuilder::build`].
+    pub fn build_with_report(mut self) -> Result<(SparseTensor, QuarantineCounts)> {
         if self.shape.is_empty() {
             return Err(TensorError::EmptyShape);
         }
         self.entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let order = self.shape.len();
+        let mode = self.mode;
+        let mut counts = self.counts;
         let mut indices = Vec::with_capacity(self.entries.len() * order);
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
         let mut last: Option<&[usize]> = None;
-        // Track tuple starts so merged entries can be dropped if they cancel.
-        let mut tuple_of_last: Vec<usize> = Vec::new();
         for (idx, v) in &self.entries {
             if last == Some(idx.as_slice()) {
-                *values.last_mut().expect("entry exists when last is set") += v;
+                match mode {
+                    ValidationMode::Strict => {
+                        return Err(TensorError::DuplicateIndex { index: idx.clone() });
+                    }
+                    ValidationMode::Quarantine => {
+                        // First write wins; later duplicates are quarantined.
+                        counts.duplicates += 1;
+                    }
+                    ValidationMode::Off => {
+                        // Legacy COO semantics: merge by summation.
+                        if let Some(acc) = values.last_mut() {
+                            *acc += v;
+                        }
+                    }
+                }
             } else {
                 indices.extend_from_slice(idx);
                 values.push(*v);
-                tuple_of_last.clear();
-                tuple_of_last.extend_from_slice(idx);
                 last = Some(idx.as_slice());
             }
         }
@@ -386,11 +486,14 @@ impl SparseTensorBuilder {
                 out_values.push(v);
             }
         }
-        Ok(SparseTensor {
-            shape: self.shape,
-            indices: out_indices,
-            values: out_values,
-        })
+        Ok((
+            SparseTensor {
+                shape: self.shape,
+                indices: out_indices,
+                values: out_values,
+            },
+            counts,
+        ))
     }
 }
 
@@ -436,6 +539,62 @@ mod tests {
         let mut b = SparseTensorBuilder::new(vec![2, 2]);
         assert!(b.push(&[2, 0], 1.0).is_err());
         assert!(b.push(&[0], 1.0).is_err());
+    }
+
+    #[test]
+    fn strict_mode_rejects_non_finite_and_duplicates() {
+        let mut b = SparseTensorBuilder::new(vec![2, 2]).with_validation(ValidationMode::Strict);
+        let err = b.push(&[0, 1], f64::NAN).unwrap_err();
+        assert!(
+            matches!(err, TensorError::NonFiniteValue { ref index, .. } if index == &vec![0, 1])
+        );
+        assert!(b.push(&[1, 0], f64::INFINITY).is_err());
+
+        let mut b = SparseTensorBuilder::new(vec![2, 2]).with_validation(ValidationMode::Strict);
+        b.push(&[0, 0], 1.0).unwrap();
+        b.push(&[0, 0], 2.0).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(TensorError::DuplicateIndex { ref index }) if index == &vec![0, 0]
+        ));
+    }
+
+    #[test]
+    fn quarantine_mode_drops_and_counts() {
+        let mut b =
+            SparseTensorBuilder::new(vec![2, 2]).with_validation(ValidationMode::Quarantine);
+        b.push(&[0, 0], 1.0).unwrap();
+        b.push(&[0, 1], f64::NAN).unwrap(); // dropped
+        b.push(&[5, 0], 3.0).unwrap(); // out of bounds, dropped
+        b.push(&[0, 0], 9.0).unwrap(); // duplicate, first write wins
+        b.push(&[1, 1], 4.0).unwrap();
+        let (t, counts) = b.build_with_report().unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(t.get(&[1, 1]).unwrap(), 4.0);
+        assert_eq!(counts.non_finite, 1);
+        assert_eq!(counts.out_of_bounds, 1);
+        assert_eq!(counts.duplicates, 1);
+        assert_eq!(counts.total(), 3);
+    }
+
+    #[test]
+    fn quarantine_still_rejects_wrong_arity() {
+        let mut b =
+            SparseTensorBuilder::new(vec![2, 2]).with_validation(ValidationMode::Quarantine);
+        assert!(b.push(&[0], 1.0).is_err());
+    }
+
+    #[test]
+    fn off_mode_keeps_legacy_semantics() {
+        let mut b = SparseTensorBuilder::new(vec![2, 2]);
+        b.push(&[0, 0], 1.0).unwrap();
+        b.push(&[0, 0], 2.0).unwrap(); // merged by summation
+        b.push(&[1, 1], f64::NAN).unwrap(); // stored as-is
+        let (t, counts) = b.build_with_report().unwrap();
+        assert_eq!(t.get(&[0, 0]).unwrap(), 3.0);
+        assert!(t.get(&[1, 1]).unwrap().is_nan());
+        assert_eq!(counts.total(), 0);
     }
 
     #[test]

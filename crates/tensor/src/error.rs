@@ -45,6 +45,37 @@ pub enum TensorError {
         /// Description of the solver that gave up.
         solver: &'static str,
     },
+    /// A solver hit a NaN/Inf pivot — the factorisation (or a caller-built
+    /// factor) contains non-finite entries and substitution would only
+    /// spread them.
+    NonFinitePivot {
+        /// Description of the solver that detected the pivot.
+        solver: &'static str,
+    },
+    /// A non-finite (NaN/Inf) value was found where only finite data is
+    /// permitted — e.g. an ingested nonzero under strict validation, or an
+    /// entry of a normal-equation denominator.
+    NonFiniteValue {
+        /// Coordinate of the offending value (tensor index, or `[row, col]`
+        /// for a matrix).
+        index: Vec<usize>,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two entries share one coordinate where strict validation forbids
+    /// duplicates.
+    DuplicateIndex {
+        /// The duplicated coordinate.
+        index: Vec<usize>,
+    },
+    /// A streaming step kept diverging (non-finite or rising loss) and the
+    /// watchdog's restart budget ran out.
+    Diverged {
+        /// Rollback-and-restart attempts performed before giving up.
+        restarts: usize,
+        /// What the watchdog observed on the final attempt.
+        detail: String,
+    },
     /// A tensor was constructed with an empty shape or a zero-length mode
     /// where that is not permitted.
     EmptyShape,
@@ -74,6 +105,21 @@ impl fmt::Display for TensorError {
             }
             TensorError::Singular { solver } => {
                 write!(f, "{solver}: matrix is singular or not positive definite")
+            }
+            TensorError::NonFinitePivot { solver } => {
+                write!(f, "{solver}: non-finite pivot encountered")
+            }
+            TensorError::NonFiniteValue { index, value } => {
+                write!(f, "non-finite value {value} at index {index:?}")
+            }
+            TensorError::DuplicateIndex { index } => {
+                write!(f, "duplicate entry at index {index:?}")
+            }
+            TensorError::Diverged { restarts, detail } => {
+                write!(
+                    f,
+                    "decomposition diverged after {restarts} restart(s): {detail}"
+                )
             }
             TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
@@ -106,6 +152,16 @@ mod tests {
             TensorError::InvalidMode { mode: 3, order: 3 },
             TensorError::NotSquare { rows: 2, cols: 3 },
             TensorError::Singular { solver: "cholesky" },
+            TensorError::NonFinitePivot { solver: "lu_solve" },
+            TensorError::NonFiniteValue {
+                index: vec![1, 2],
+                value: f64::NAN,
+            },
+            TensorError::DuplicateIndex { index: vec![0, 0] },
+            TensorError::Diverged {
+                restarts: 2,
+                detail: "loss became NaN at iteration 3".into(),
+            },
             TensorError::EmptyShape,
             TensorError::InvalidArgument("nope".into()),
             TensorError::ClusterFault("worker 2 crashed: boom".into()),

@@ -30,13 +30,15 @@ pub mod linalg;
 pub mod matrix;
 pub mod mttkrp;
 pub mod ops;
+pub mod robust;
 
-pub use coo::{SparseTensor, SparseTensorBuilder};
+pub use coo::{QuarantineCounts, SparseTensor, SparseTensorBuilder, ValidationMode};
 pub use dense::DenseTensor;
 pub use error::{Result, TensorError};
 pub use kruskal::KruskalTensor;
 pub use layout::MttkrpPlan;
 pub use matrix::Matrix;
+pub use robust::{NumericsReport, RobustSolver, SolveDecision, SolvePolicy, SolveTier};
 
 #[cfg(test)]
 mod proptests {

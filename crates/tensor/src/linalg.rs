@@ -103,9 +103,32 @@ pub fn lu_decompose(m: &Matrix) -> Result<(Matrix, Vec<usize>)> {
 }
 
 /// Solves `M x = b` given a packed LU factorisation from [`lu_decompose`].
-pub fn lu_solve(lu: &Matrix, perm: &[usize], b: &[f64]) -> Vec<f64> {
-    let n = lu.rows();
-    debug_assert_eq!(b.len(), n);
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] when `b` or `perm` disagree with
+/// the factorisation's dimension, and [`TensorError::NonFinitePivot`] when
+/// a diagonal pivot is zero or non-finite (a caller-corrupted or
+/// hand-built factorisation — [`lu_decompose`] never produces one).
+pub fn lu_solve(lu: &Matrix, perm: &[usize], b: &[f64]) -> Result<Vec<f64>> {
+    let n = require_square(lu)?;
+    if b.len() != n || perm.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "lu_solve",
+            left: vec![n, n],
+            right: vec![perm.len(), b.len()],
+        });
+    }
+    if perm.iter().any(|&p| p >= n) {
+        return Err(TensorError::InvalidArgument(format!(
+            "lu_solve: permutation entry out of range for dimension {n}"
+        )));
+    }
+    for i in 0..n {
+        let pivot = lu.get(i, i);
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(TensorError::NonFinitePivot { solver: "lu_solve" });
+        }
+    }
     let mut x: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
     // Forward: L y = Pb (unit diagonal).
     for i in 0..n {
@@ -123,7 +146,42 @@ pub fn lu_solve(lu: &Matrix, perm: &[usize], b: &[f64]) -> Vec<f64> {
         }
         x[i] = sum / lu.get(i, i);
     }
-    x
+    Ok(x)
+}
+
+/// Cheap condition-number estimate from a Cholesky factor `L`:
+/// `(max_i L_ii / min_i L_ii)²`.  A lower bound on the true 2-norm
+/// condition number of `L Lᵀ`, adequate for tier-escalation decisions.
+pub fn cholesky_condition_estimate(l: &Matrix) -> f64 {
+    let r = diag_ratio(l, |v| v);
+    r * r
+}
+
+/// Cheap condition-number estimate from a packed LU factorisation:
+/// `max_i |U_ii| / min_i |U_ii|` (a lower bound on the condition of `M`).
+pub fn lu_condition_estimate(lu: &Matrix) -> f64 {
+    diag_ratio(lu, f64::abs)
+}
+
+fn diag_ratio(m: &Matrix, f: impl Fn(f64) -> f64) -> f64 {
+    let n = m.rows().min(m.cols());
+    if n == 0 {
+        return 1.0;
+    }
+    let mut max = 0.0f64;
+    let mut min = f64::INFINITY;
+    for i in 0..n {
+        let d = f(m.get(i, i));
+        if !d.is_finite() {
+            return f64::INFINITY;
+        }
+        max = max.max(d);
+        min = min.min(d);
+    }
+    if min <= 0.0 {
+        return f64::INFINITY;
+    }
+    max / min
 }
 
 /// Pre-factorised symmetric system used to apply `·D⁻¹` to many rows.
@@ -162,15 +220,39 @@ impl Factorized {
     }
 
     /// Solves `M x = b` in place.
-    pub fn solve_in_place(&self, b: &mut [f64]) {
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] when `b.len()` disagrees with
+    /// the factorised dimension, and [`TensorError::NonFinitePivot`] when a
+    /// diagonal pivot is zero or non-finite (possible only for hand-built
+    /// `Factorized` values — the constructors never produce one).
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                op: "solve_in_place",
+                left: vec![n, n],
+                right: vec![b.len()],
+            });
+        }
         match self {
             Factorized::Cholesky(l) => {
+                for i in 0..n {
+                    let pivot = l.get(i, i);
+                    if pivot == 0.0 || !pivot.is_finite() {
+                        return Err(TensorError::NonFinitePivot {
+                            solver: "cholesky_solve",
+                        });
+                    }
+                }
                 forward_sub(l, b);
                 backward_sub_transposed(l, b);
+                Ok(())
             }
             Factorized::Lu(lu, perm) => {
-                let x = lu_solve(lu, perm, b);
+                let x = lu_solve(lu, perm, b)?;
                 b.copy_from_slice(&x);
+                Ok(())
             }
         }
     }
@@ -203,7 +285,7 @@ pub fn solve_right(b: &Matrix, m: &Matrix) -> Result<Matrix> {
     let fact = Factorized::new(m)?;
     let mut out = b.clone();
     for i in 0..out.rows() {
-        fact.solve_in_place(out.row_mut(i));
+        fact.solve_in_place(out.row_mut(i))?;
     }
     Ok(out)
 }
@@ -219,7 +301,7 @@ pub fn invert(m: &Matrix) -> Result<Matrix> {
     for j in 0..n {
         col.iter_mut().for_each(|x| *x = 0.0);
         col[j] = 1.0;
-        fact.solve_in_place(&mut col);
+        fact.solve_in_place(&mut col)?;
         for i in 0..n {
             inv.set(i, j, col[i]);
         }
@@ -227,7 +309,7 @@ pub fn invert(m: &Matrix) -> Result<Matrix> {
     Ok(inv)
 }
 
-fn require_square(m: &Matrix) -> Result<usize> {
+pub(crate) fn require_square(m: &Matrix) -> Result<usize> {
     if m.rows() != m.cols() {
         return Err(TensorError::NotSquare {
             rows: m.rows(),
@@ -274,7 +356,7 @@ mod tests {
         // Asymmetric, needs pivoting (zero leading pivot).
         let m = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 1.0, 1.0], &[2.0, 0.0, 3.0]]);
         let (lu, perm) = lu_decompose(&m).unwrap();
-        let x = lu_solve(&lu, &perm, &[5.0, 6.0, 13.0]);
+        let x = lu_solve(&lu, &perm, &[5.0, 6.0, 13.0]).unwrap();
         // Verify M x = b.
         for (i, &bi) in [5.0, 6.0, 13.0].iter().enumerate() {
             let got: f64 = (0..3).map(|j| m.get(i, j) * x[j]).sum();
@@ -309,9 +391,69 @@ mod tests {
         let f = Factorized::new(&m).unwrap();
         assert_eq!(f.dim(), 2);
         let mut b = vec![2.0, 2.0];
-        f.solve_in_place(&mut b);
+        f.solve_in_place(&mut b).unwrap();
         // Solution of the regularised system stays finite.
         assert!(b.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn solve_in_place_rejects_wrong_length() {
+        let f = Factorized::new(&spd3()).unwrap();
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(
+            f.solve_in_place(&mut b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lu_solve_rejects_wrong_length_and_bad_perm() {
+        let m = spd3();
+        let (lu, perm) = lu_decompose(&m).unwrap();
+        assert!(matches!(
+            lu_solve(&lu, &perm, &[1.0, 2.0]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            lu_solve(&lu, &[0, 1, 7], &[1.0, 2.0, 3.0]),
+            Err(TensorError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_non_finite_pivots() {
+        // Hand-built corrupted factorisations.
+        let mut l = cholesky(&spd3()).unwrap();
+        l.set(1, 1, f64::NAN);
+        let f = Factorized::Cholesky(l);
+        let mut b = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            f.solve_in_place(&mut b),
+            Err(TensorError::NonFinitePivot { .. })
+        ));
+
+        let (mut lu, perm) = lu_decompose(&spd3()).unwrap();
+        lu.set(2, 2, f64::INFINITY);
+        assert!(matches!(
+            lu_solve(&lu, &perm, &[1.0, 2.0, 3.0]),
+            Err(TensorError::NonFinitePivot { solver: "lu_solve" })
+        ));
+    }
+
+    #[test]
+    fn condition_estimates_track_scaling() {
+        // Well-conditioned: estimate close to 1.
+        let well = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        let l = cholesky(&well).unwrap();
+        assert!(cholesky_condition_estimate(&l) < 2.0);
+
+        // Badly scaled diagonal: estimate explodes.
+        let bad = Matrix::from_rows(&[&[1e12, 0.0], &[0.0, 1e-2]]);
+        let l = cholesky(&bad).unwrap();
+        assert!(cholesky_condition_estimate(&l) > 1e13);
+
+        let (lu, _) = lu_decompose(&bad).unwrap();
+        assert!(lu_condition_estimate(&lu) > 1e13);
     }
 
     #[test]

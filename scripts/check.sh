@@ -15,8 +15,8 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
-echo "==> chaos suite (fault injection + recovery)"
-cargo test -q -p dismastd-integration-tests --test fault_injection
+echo "==> stress suites (numerics robustness + fault injection + recovery)"
+cargo test -q -p dismastd-integration-tests --test numerics_robustness --test fault_injection
 
 echo "==> panic audit: no infallible unwraps on cluster receive paths"
 # Cross-worker conditions (a peer's payload, a peer's liveness) must flow
@@ -28,6 +28,24 @@ for f in crates/cluster/src/runtime.rs crates/cluster/src/comm.rs crates/core/sr
   if sed '/#\[cfg(test)\]/q' "$f" \
     | grep -nE '\.recv\(\)\s*\.expect\(|\.join\(\)\s*\.expect\(|\.into_f64\(\)|\.into_u64\(\)' ; then
     echo "panic-prone cross-worker pattern in $f (see match above)"
+    audit_failed=1
+  fi
+done
+[ "$audit_failed" -eq 0 ] || exit 1
+
+echo "==> panic audit: no unwrap/expect on solve & ingest paths"
+# The robustness layer promises typed errors (Singular, NonFinitePivot,
+# NonFiniteValue, Diverged) instead of panics anywhere a degraded input
+# can reach.  Audit the non-test portion of the numeric kernels and the
+# session/ingest surface; doc-comment examples (///) are exempt.
+for f in crates/tensor/src/linalg.rs crates/tensor/src/robust.rs \
+         crates/tensor/src/coo.rs crates/core/src/als.rs \
+         crates/core/src/dtd.rs crates/core/src/session.rs \
+         crates/core/src/distributed.rs; do
+  if sed '/#\[cfg(test)\]/q' "$f" \
+    | grep -nE '\.unwrap\(\)|\.expect\(' \
+    | grep -vE '^[0-9]+:\s*//' ; then
+    echo "unwrap/expect in non-test solve/ingest code in $f (see match above)"
     audit_failed=1
   fi
 done
