@@ -1,0 +1,113 @@
+//! **Phases** — per-phase time breakdown of one streaming step, serial and
+//! distributed, from the observability layer's span registry.
+//!
+//! ```text
+//! cargo run -p dismastd-bench --release --bin phases
+//! ```
+//!
+//! Unlike the figure bins, which model cluster wall-clock, this bin answers
+//! "where does the step spend its time": MTTKRP vs solve vs Gram rebuild vs
+//! row exchange, per configuration, as fractions of the step's wall-clock.
+//! Records land in `bench_results/phases.jsonl` with one row per
+//! configuration and the phase fractions in `extra`.
+
+use dismastd_bench::{print_table, save_records, ExperimentContext, ResultRecord};
+use dismastd_core::{ClusterConfig, DecompConfig, ExecutionMode, StepReport, StreamingSession};
+use dismastd_data::{DatasetSpec, StreamSequence};
+use std::collections::BTreeMap;
+
+/// The non-overlapping phase spans, in pipeline order.
+const PHASES: [&str; 10] = [
+    "phase/validate",
+    "phase/complement",
+    "phase/partition",
+    "phase/plan_build",
+    "phase/setup",
+    "phase/mttkrp",
+    "phase/exchange",
+    "phase/solve",
+    "phase/gram",
+    "phase/loss",
+];
+
+/// Runs one two-snapshot stream (cold start + incremental step) and returns
+/// the incremental step's report, with metrics collected.
+fn run_step(spec: &DatasetSpec, cfg: &DecompConfig, mode: ExecutionMode) -> StepReport {
+    let full = spec.generate().expect("dataset generates");
+    let stream = StreamSequence::cut(&full, &[0.9, 1.0]).expect("schedule");
+    let mut session = StreamingSession::new(*cfg, mode);
+    session.set_collect_metrics(true);
+    session.ingest(stream.snapshot(0)).expect("cold start");
+    session
+        .ingest(stream.snapshot(1))
+        .expect("incremental step")
+}
+
+fn main() {
+    let ctx = ExperimentContext::from_env();
+    let cfg = DecompConfig::default().with_max_iters(5);
+    let spec = DatasetSpec::synthetic(ctx.scale);
+    let mut records: Vec<ResultRecord> = Vec::new();
+
+    println!(
+        "== Per-phase breakdown of one incremental step ({}, scale {:.2}) ==\n",
+        spec.name, ctx.scale
+    );
+    let configs: Vec<(String, ExecutionMode)> = vec![
+        ("serial".into(), ExecutionMode::Serial),
+        (
+            "dist-2".into(),
+            ExecutionMode::Distributed(ClusterConfig::new(2)),
+        ),
+        (
+            "dist-4".into(),
+            ExecutionMode::Distributed(ClusterConfig::new(4)),
+        ),
+    ];
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, mode) in configs {
+        let workers = match &mode {
+            ExecutionMode::Serial => 1.0,
+            ExecutionMode::Distributed(c) => c.workers as f64,
+        };
+        let report = run_step(&spec, &cfg, mode);
+        let metrics = report.metrics.as_ref().expect("metrics were collected");
+        let elapsed_ns = report.elapsed.as_nanos() as f64;
+
+        // In distributed mode the merged snapshot holds every rank's spans,
+        // so phase time can exceed wall-clock; normalise by total phase
+        // time instead to keep fractions comparable across configurations.
+        let phase_ns = metrics.phase_total_ns() as f64;
+        let mut extra = BTreeMap::from([
+            ("elapsed_s".into(), report.elapsed.as_secs_f64()),
+            ("phase_total_s".into(), phase_ns / 1e9),
+            ("iterations".into(), report.iterations as f64),
+        ]);
+        let mut row = vec![name.clone(), format!("{:.4}", elapsed_ns / 1e9)];
+        for phase in PHASES {
+            let ns = metrics.span_total_ns(phase) as f64;
+            let frac = if phase_ns > 0.0 { ns / phase_ns } else { 0.0 };
+            let short = phase.trim_start_matches("phase/");
+            extra.insert(format!("frac_{short}"), frac);
+            row.push(format!("{:.1}%", 100.0 * frac));
+        }
+        rows.push(row);
+        records.push(ResultRecord {
+            experiment: "phases".into(),
+            dataset: spec.name.clone(),
+            method: name,
+            x: workers,
+            value: phase_ns / 1e9,
+            extra,
+        });
+    }
+
+    let mut headers: Vec<&str> = vec!["config", "elapsed s"];
+    for phase in PHASES {
+        headers.push(phase.trim_start_matches("phase/"));
+    }
+    print_table(&headers, &rows);
+    println!("\n(fractions of total phase time; distributed rows sum every rank's spans)");
+    save_records("phases", &records).expect("results saved");
+}

@@ -106,6 +106,10 @@ pub struct CommStats {
     retransmit_bytes: AtomicU64,
     /// Spurious duplicates the receive path discarded.
     duplicates_suppressed: AtomicU64,
+    /// Bytes whose sender rank fell outside the per-sender breakdown (a
+    /// caller bug — see [`CommStats::record_message_from`]).  Tallied so
+    /// `bytes == Σ bytes_by_sender + unattributed_bytes` always holds.
+    unattributed_bytes: AtomicU64,
     /// Bytes sent per worker rank (empty when built via `new`).
     bytes_by_sender: Vec<AtomicU64>,
 }
@@ -131,10 +135,31 @@ impl CommStats {
     }
 
     /// Records one remote message attributed to a sender rank.
+    ///
+    /// With a per-sender breakdown installed ([`CommStats::with_world`]),
+    /// an out-of-range `sender` is a caller bug: it used to silently drop
+    /// the attribution, letting `Σ bytes_by_sender` drift from `bytes`.
+    /// Now it trips a debug assertion, and in release builds the bytes land
+    /// in `unattributed_bytes` so snapshots still reconcile exactly.
     pub fn record_message_from(&self, sender: usize, bytes: u64) {
         self.record_message(bytes);
-        if let Some(counter) = self.bytes_by_sender.get(sender) {
-            counter.fetch_add(bytes, Ordering::Relaxed);
+        if self.bytes_by_sender.is_empty() {
+            // Totals-only stats (`CommStats::new`): no breakdown to keep
+            // consistent, any rank is acceptable.
+            return;
+        }
+        match self.bytes_by_sender.get(sender) {
+            Some(counter) => {
+                counter.fetch_add(bytes, Ordering::Relaxed);
+            }
+            None => {
+                debug_assert!(
+                    false,
+                    "sender rank {sender} outside per-sender breakdown of {} workers",
+                    self.bytes_by_sender.len()
+                );
+                self.unattributed_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
         }
     }
 
@@ -165,6 +190,7 @@ impl CommStats {
             retransmits: self.retransmits.load(Ordering::Relaxed),
             retransmit_bytes: self.retransmit_bytes.load(Ordering::Relaxed),
             duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
+            unattributed_bytes: self.unattributed_bytes.load(Ordering::Relaxed),
             bytes_by_sender: self
                 .bytes_by_sender
                 .iter()
@@ -181,6 +207,7 @@ impl CommStats {
         self.retransmits.store(0, Ordering::Relaxed);
         self.retransmit_bytes.store(0, Ordering::Relaxed);
         self.duplicates_suppressed.store(0, Ordering::Relaxed);
+        self.unattributed_bytes.store(0, Ordering::Relaxed);
         for c in &self.bytes_by_sender {
             c.store(0, Ordering::Relaxed);
         }
@@ -269,7 +296,7 @@ impl BufferPool {
 }
 
 /// Plain-data copy of [`CommStats`] counters.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
 pub struct CommStatsSnapshot {
     /// Total payload bytes that crossed worker boundaries.
     pub bytes: u64,
@@ -285,12 +312,53 @@ pub struct CommStatsSnapshot {
     pub retransmit_bytes: u64,
     /// Duplicate deliveries the receive path suppressed.
     pub duplicates_suppressed: u64,
+    /// Bytes recorded with a sender rank outside the per-sender breakdown
+    /// (a caller bug, asserted in debug builds).  Zero in correct runs;
+    /// kept so `bytes == Σ bytes_by_sender + unattributed_bytes` is an
+    /// invariant rather than a hope.
+    pub unattributed_bytes: u64,
     /// Bytes sent per worker rank (empty unless the stats were created
     /// with [`CommStats::with_world`]).
     pub bytes_by_sender: Vec<u64>,
 }
 
+// Hand-written so `unattributed_bytes` is optional on decode: session
+// checkpoints serialized before the field existed read back as zero instead
+// of failing with a missing-field error (the vendored derive requires every
+// field).
+impl Deserialize for CommStatsSnapshot {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::new("expected object for `CommStatsSnapshot`"))?;
+        Ok(CommStatsSnapshot {
+            bytes: Deserialize::from_value(serde::field(obj, "bytes")?)?,
+            messages: Deserialize::from_value(serde::field(obj, "messages")?)?,
+            collectives: Deserialize::from_value(serde::field(obj, "collectives")?)?,
+            retransmits: Deserialize::from_value(serde::field(obj, "retransmits")?)?,
+            retransmit_bytes: Deserialize::from_value(serde::field(obj, "retransmit_bytes")?)?,
+            duplicates_suppressed: Deserialize::from_value(serde::field(
+                obj,
+                "duplicates_suppressed",
+            )?)?,
+            unattributed_bytes: match serde::field(obj, "unattributed_bytes") {
+                Ok(nested) => Deserialize::from_value(nested)?,
+                Err(_) => 0,
+            },
+            bytes_by_sender: Deserialize::from_value(serde::field(obj, "bytes_by_sender")?)?,
+        })
+    }
+}
+
 impl CommStatsSnapshot {
+    /// Whether the per-sender breakdown accounts for every logical byte:
+    /// `bytes == Σ bytes_by_sender + unattributed_bytes`.  Trivially true
+    /// for totals-only snapshots (no breakdown recorded).
+    pub fn reconciles(&self) -> bool {
+        self.bytes_by_sender.is_empty()
+            || self.bytes == self.bytes_by_sender.iter().sum::<u64>() + self.unattributed_bytes
+    }
+
     /// Difference of two snapshots (for per-phase accounting).
     pub fn delta_since(&self, earlier: &CommStatsSnapshot) -> CommStatsSnapshot {
         CommStatsSnapshot {
@@ -300,6 +368,7 @@ impl CommStatsSnapshot {
             retransmits: self.retransmits - earlier.retransmits,
             retransmit_bytes: self.retransmit_bytes - earlier.retransmit_bytes,
             duplicates_suppressed: self.duplicates_suppressed - earlier.duplicates_suppressed,
+            unattributed_bytes: self.unattributed_bytes - earlier.unattributed_bytes,
             bytes_by_sender: self
                 .bytes_by_sender
                 .iter()
@@ -318,6 +387,7 @@ impl CommStatsSnapshot {
         self.retransmits += other.retransmits;
         self.retransmit_bytes += other.retransmit_bytes;
         self.duplicates_suppressed += other.duplicates_suppressed;
+        self.unattributed_bytes += other.unattributed_bytes;
         if self.bytes_by_sender.len() < other.bytes_by_sender.len() {
             self.bytes_by_sender.resize(other.bytes_by_sender.len(), 0);
         }
@@ -585,11 +655,56 @@ mod per_sender_tests {
     }
 
     #[test]
-    fn out_of_range_sender_still_counts_totals() {
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "outside per-sender breakdown")
+    )]
+    fn out_of_range_sender_asserts_in_debug_and_reconciles_in_release() {
         let s = CommStats::with_world(1);
-        s.record_message_from(5, 40); // rank beyond breakdown: totals only
+        s.record_message_from(5, 40); // caller bug: debug builds panic here
         let snap = s.snapshot();
+        // Release builds keep totals and the reconciliation invariant.
         assert_eq!(snap.bytes, 40);
         assert_eq!(snap.bytes_by_sender, vec![0]);
+        assert_eq!(snap.unattributed_bytes, 40);
+        assert!(snap.reconciles());
+    }
+
+    #[test]
+    fn snapshots_reconcile_per_sender_bytes() {
+        let s = CommStats::with_world(3);
+        s.record_message_from(0, 100);
+        s.record_message_from(2, 55);
+        let snap = s.snapshot();
+        assert!(snap.reconciles());
+        assert_eq!(snap.unattributed_bytes, 0);
+        // Totals-only stats reconcile trivially.
+        let plain = CommStats::new();
+        plain.record_message_from(9, 10);
+        assert!(plain.snapshot().reconciles());
+        // A hand-built drifting snapshot is caught.
+        let drifted = CommStatsSnapshot {
+            bytes: 100,
+            bytes_by_sender: vec![40, 40],
+            ..CommStatsSnapshot::default()
+        };
+        assert!(!drifted.reconciles());
+    }
+
+    #[test]
+    fn snapshot_without_unattributed_field_still_decodes() {
+        // A checkpoint serialized before `unattributed_bytes` existed.
+        let legacy = r#"{"bytes":10,"messages":1,"collectives":2,"retransmits":0,
+            "retransmit_bytes":0,"duplicates_suppressed":0,"bytes_by_sender":[10,0]}"#;
+        let snap: CommStatsSnapshot = serde_json::from_str(legacy).unwrap();
+        assert_eq!(snap.bytes, 10);
+        assert_eq!(snap.unattributed_bytes, 0);
+        assert_eq!(snap.bytes_by_sender, vec![10, 0]);
+        assert!(snap.reconciles());
+        // And the current format round-trips.
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("unattributed_bytes"));
+        let back: CommStatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 }

@@ -436,6 +436,7 @@ impl WorkerCtx {
         if remote {
             self.stats
                 .record_message_from(self.rank, payload.size_bytes());
+            dismastd_obs::histogram_record("comm/msg_bytes", payload.size_bytes());
         }
         let id = self.fresh_msg_id();
         let fate = match (&self.plan, remote) {
@@ -655,6 +656,7 @@ impl WorkerCtx {
     /// # Errors
     /// Returns the peer's [`ClusterError`] when the cluster aborts.
     pub fn try_barrier(&mut self) -> ClusterResult<()> {
+        let _span = dismastd_obs::span("comm/barrier");
         self.maybe_crash()?;
         let tag = self.next_seq();
         if self.rank == 0 {
@@ -700,6 +702,7 @@ impl WorkerCtx {
     /// Panics unless `outgoing.len() == world` (a caller bug).
     pub fn try_exchange(&mut self, mut outgoing: Vec<Payload>) -> ClusterResult<Vec<Payload>> {
         assert_eq!(outgoing.len(), self.world, "one payload per destination");
+        let _span = dismastd_obs::span("comm/exchange");
         self.maybe_crash()?;
         let tag = self.next_seq();
         if self.rank == 0 {
@@ -748,6 +751,7 @@ impl WorkerCtx {
         root: usize,
         payload: Option<Payload>,
     ) -> ClusterResult<Payload> {
+        let _span = dismastd_obs::span("comm/broadcast");
         self.maybe_crash()?;
         let tag = self.next_seq();
         if self.rank == 0 {
@@ -787,6 +791,7 @@ impl WorkerCtx {
         root: usize,
         payload: Payload,
     ) -> ClusterResult<Option<Vec<Payload>>> {
+        let _span = dismastd_obs::span("comm/gather");
         self.maybe_crash()?;
         let tag = self.next_seq();
         if self.rank == 0 {
@@ -833,6 +838,10 @@ impl WorkerCtx {
     /// `SizeMismatch` on disagreeing lengths, `TypeMismatch` on protocol
     /// corruption, or the poisoning error when a peer fails.
     pub fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> ClusterResult<()> {
+        // The inner gather/broadcast record their own comm/* spans, which
+        // nest inside this one; comm/* totals are therefore per-primitive,
+        // not additive across the family.
+        let _span = dismastd_obs::span("comm/allreduce");
         if self.world == 1 {
             self.maybe_crash()?;
             return Ok(());

@@ -31,6 +31,7 @@ use crate::loss::{dtd_loss, GramState, LossParts};
 use dismastd_cluster::{
     BufferPool, Cluster, ClusterOptions, ClusterResult, CommStatsSnapshot, Payload, WorkerCtx,
 };
+use dismastd_obs::MetricsSnapshot;
 use dismastd_partition::{CellAssignment, GridPartition, Partitioner};
 use dismastd_tensor::layout::{fingerprint, MttkrpPlan};
 use dismastd_tensor::linalg::Factorized;
@@ -130,6 +131,17 @@ pub struct DistOutput {
     /// are made once (rank 0) and broadcast, so this is also what every
     /// other rank applied.
     pub numerics: NumericsReport,
+    /// Every rank's per-phase metrics merged into one snapshot, present
+    /// when the *driver* thread had a metrics collection installed (see
+    /// `dismastd_obs::begin`) when the call started.  Span totals therefore
+    /// sum concurrent per-rank time and can exceed wall-clock; the
+    /// `comm/msg_bytes` histogram reconciles exactly with [`Self::comm`].
+    /// Driver-side preparation spans (partitioning, plan builds) land in
+    /// the caller's own registry instead.
+    pub metrics: Option<MetricsSnapshot>,
+    /// Every rank's per-phase metrics, indexed by rank (empty when
+    /// collection was off).
+    pub worker_metrics: Vec<MetricsSnapshot>,
 }
 
 impl DistOutput {
@@ -359,14 +371,27 @@ fn run_distributed(
 
     // ---- Data partitioning (Sec. IV-A) ----------------------------------
     let parts = cluster.resolved_parts(order);
-    let grid = GridPartition::build_with(
-        tensor,
-        cluster.partitioner,
-        &parts,
-        world,
-        cluster.cell_assignment,
-    )?;
-    let plans = Arc::new(build_plans(tensor, &grid, world, cache)?);
+    let grid = {
+        let _s = dismastd_obs::span("phase/partition");
+        GridPartition::build_with(
+            tensor,
+            cluster.partitioner,
+            &parts,
+            world,
+            cluster.cell_assignment,
+        )?
+    };
+    let (hits_before, misses_before) = (cache.hits(), cache.misses());
+    let plans = {
+        let _s = dismastd_obs::span("phase/plan_build");
+        Arc::new(build_plans(tensor, &grid, world, cache)?)
+    };
+    if cache.hits() > hits_before {
+        dismastd_obs::counter_add("plan/cache_hit", cache.hits() - hits_before);
+    }
+    if cache.misses() > misses_before {
+        dismastd_obs::counter_add("plan/rebuild", cache.misses() - misses_before);
+    }
 
     // Shared read-only inputs.
     let init = Arc::new(init_factors(old_factors, tensor.shape(), rank, cfg.seed)?);
@@ -386,6 +411,9 @@ fn run_distributed(
     let cfg = *cfg;
     let pooling = cluster.pooling;
     let old_rows_arc = Arc::new(old_rows.clone());
+    // Worker threads have their own thread-local metric registries, so each
+    // rank decides up front — from the driver's state — whether to collect.
+    let collect = dismastd_obs::installed();
     let (mut results, comm) = Cluster::try_run_with_opts(world, opts, |ctx| {
         worker_body(
             ctx,
@@ -397,9 +425,27 @@ fn run_distributed(
             old_norm_sq,
             tensor_norm_sq,
             pooling,
+            collect,
         )
     })
     .map_err(|e| TensorError::ClusterFault(e.to_string()))?;
+
+    // Harvest every rank's metrics (in rank order) before consuming rank 0;
+    // a rank that failed simply contributes nothing.
+    let worker_metrics: Vec<MetricsSnapshot> = results
+        .iter()
+        .filter_map(|res| res.as_ref().ok())
+        .filter_map(|wr| wr.metrics.clone())
+        .collect();
+    let metrics = if worker_metrics.is_empty() {
+        None
+    } else {
+        let mut merged = MetricsSnapshot::default();
+        for wm in &worker_metrics {
+            merged.merge(wm);
+        }
+        Some(merged)
+    };
 
     let WorkerResult {
         loss_trace,
@@ -407,6 +453,7 @@ fn run_distributed(
         factors,
         iter_elapsed,
         numerics,
+        metrics: _,
     } = results.swap_remove(0)?;
     let factors = factors.ok_or_else(|| {
         TensorError::InvalidArgument("rank 0 did not assemble the final factors".into())
@@ -421,6 +468,8 @@ fn run_distributed(
         elapsed: start.elapsed(),
         iter_elapsed,
         numerics,
+        metrics,
+        worker_metrics,
     })
 }
 
@@ -432,6 +481,8 @@ struct WorkerResult {
     iter_elapsed: Duration,
     /// Rank 0's record of the broadcast solver decisions (zeroed elsewhere).
     numerics: NumericsReport,
+    /// This rank's per-phase metrics, when collection was requested.
+    metrics: Option<MetricsSnapshot>,
 }
 
 /// Converts a fallible tensor-numerics expression into worker control flow:
@@ -530,7 +581,12 @@ fn worker_body(
     old_norm_sq: f64,
     tensor_norm_sq: f64,
     pooling: bool,
+    collect: bool,
 ) -> ClusterResult<std::result::Result<WorkerResult, TensorError>> {
+    // Per-thread collector: on any early-return path (cluster fault or a
+    // `try_num!` payload error) the guard's Drop discards the partial
+    // registry, so a failed rank never reports half-measured phases.
+    let collector = collect.then(dismastd_obs::begin);
     let me = ctx.rank();
     let world = ctx.world();
     let plan = &plans[me];
@@ -555,15 +611,18 @@ fn worker_body(
         gram1: vec![Matrix::zeros(r, r); order],
         cross: vec![Matrix::zeros(r, r); order],
     };
-    for n in 0..order {
-        local_gram_partials(
-            &mut ws,
-            &factors[n],
-            &old[n],
-            &plan.owned_rows[n],
-            old_rows[n],
-        );
-        allreduce_grams(ctx, &mut ws, &mut state, n)?;
+    {
+        let _s = dismastd_obs::span("phase/setup");
+        for n in 0..order {
+            local_gram_partials(
+                &mut ws,
+                &factors[n],
+                &old[n],
+                &plan.owned_rows[n],
+                old_rows[n],
+            );
+            allreduce_grams(ctx, &mut ws, &mut state, n)?;
+        }
     }
 
     let mut loss_trace: Vec<f64> = Vec::with_capacity(cfg.max_iters);
@@ -580,32 +639,39 @@ fn worker_body(
             // -- 1. local MTTKRP partials over this worker's nonzeros -----
             // Cached cell layouts: each plan accumulates its run totals
             // into `hat[n]`, touching every output row once per cell.
-            hat[n].fill_zero();
-            for cell in &plan.cells {
-                try_num!(cell.mttkrp_into(&factors, n, &mut hat[n]));
+            {
+                let _s = dismastd_obs::span("phase/mttkrp");
+                hat[n].fill_zero();
+                for cell in &plan.cells {
+                    try_num!(cell.mttkrp_into(&factors, n, &mut hat[n]));
+                }
             }
 
             // -- route partials to row owners ------------------------------
-            let outgoing: Vec<Payload> = (0..world)
-                .map(|d| {
+            {
+                let _s = dismastd_obs::span("phase/exchange");
+                let outgoing: Vec<Payload> = (0..world)
+                    .map(|d| {
+                        if d == me {
+                            Payload::Empty
+                        } else {
+                            Payload::F64(pack_rows(&hat[n], &plan.partial_routes[n][d], &mut pool))
+                        }
+                    })
+                    .collect();
+                let incoming = ctx.try_exchange(outgoing)?;
+                for (d, payload) in incoming.into_iter().enumerate() {
                     if d == me {
-                        Payload::Empty
-                    } else {
-                        Payload::F64(pack_rows(&hat[n], &plan.partial_routes[n][d], &mut pool))
+                        continue;
                     }
-                })
-                .collect();
-            let incoming = ctx.try_exchange(outgoing)?;
-            for (d, payload) in incoming.into_iter().enumerate() {
-                if d == me {
-                    continue;
+                    let data = payload.try_into_f64()?;
+                    add_rows(&mut hat[n], &plan.serve_routes[n][d], &data);
+                    pool.put(data);
                 }
-                let data = payload.try_into_f64()?;
-                add_rows(&mut hat[n], &plan.serve_routes[n][d], &data);
-                pool.put(data);
             }
 
             // -- 2. owners update their rows (Eq. 5, row-wise) -------------
+            let solve_span = dismastd_obs::span("phase/solve");
             let mut totals: Vec<Matrix> = Vec::with_capacity(order);
             for k in 0..order {
                 totals.push(try_num!(state.total(k)));
@@ -693,33 +759,45 @@ fn worker_body(
                 }
                 factors[n].row_mut(row).copy_from_slice(&row_buf);
             }
+            drop(solve_span);
 
             // -- ship refreshed rows back to referencing workers ------------
-            let outgoing: Vec<Payload> = (0..world)
-                .map(|d| {
+            {
+                let _s = dismastd_obs::span("phase/exchange");
+                let outgoing: Vec<Payload> = (0..world)
+                    .map(|d| {
+                        if d == me {
+                            Payload::Empty
+                        } else {
+                            Payload::F64(pack_rows(
+                                &factors[n],
+                                &plan.serve_routes[n][d],
+                                &mut pool,
+                            ))
+                        }
+                    })
+                    .collect();
+                let incoming = ctx.try_exchange(outgoing)?;
+                for (d, payload) in incoming.into_iter().enumerate() {
                     if d == me {
-                        Payload::Empty
-                    } else {
-                        Payload::F64(pack_rows(&factors[n], &plan.serve_routes[n][d], &mut pool))
+                        continue;
                     }
-                })
-                .collect();
-            let incoming = ctx.try_exchange(outgoing)?;
-            for (d, payload) in incoming.into_iter().enumerate() {
-                if d == me {
-                    continue;
+                    let data = payload.try_into_f64()?;
+                    write_rows(&mut factors[n], &plan.partial_routes[n][d], &data);
+                    pool.put(data);
                 }
-                let data = payload.try_into_f64()?;
-                write_rows(&mut factors[n], &plan.partial_routes[n][d], &data);
-                pool.put(data);
             }
 
             // -- 3. rebuild the RxR products by all-reduce ------------------
-            local_gram_partials(&mut ws, &factors[n], &old[n], &plan.owned_rows[n], old_n);
-            allreduce_grams(ctx, &mut ws, &mut state, n)?;
+            {
+                let _s = dismastd_obs::span("phase/gram");
+                local_gram_partials(&mut ws, &factors[n], &old[n], &plan.owned_rows[n], old_n);
+                allreduce_grams(ctx, &mut ws, &mut state, n)?;
+            }
 
             // -- 4. loss reuse: data inner product from the final mode -----
             if n == order - 1 {
+                let _s = dismastd_obs::span("phase/loss");
                 inner_partial = plan.owned_rows[n]
                     .iter()
                     .map(|&row| {
@@ -730,16 +808,19 @@ fn worker_body(
             }
         }
         iterations += 1;
-        let inner = ctx.try_allreduce_sum_scalar(inner_partial)?;
-        let loss = try_num!(dtd_loss(
-            &state,
-            &LossParts {
-                mu,
-                old_norm_sq,
-                complement_norm_sq: tensor_norm_sq,
-                inner,
-            },
-        ));
+        let loss = {
+            let _s = dismastd_obs::span("phase/loss");
+            let inner = ctx.try_allreduce_sum_scalar(inner_partial)?;
+            try_num!(dtd_loss(
+                &state,
+                &LossParts {
+                    mu,
+                    old_norm_sq,
+                    complement_norm_sq: tensor_norm_sq,
+                    inner,
+                },
+            ))
+        };
         loss_trace.push(loss);
         if converged(&loss_trace, cfg.tolerance) {
             break;
@@ -747,8 +828,26 @@ fn worker_body(
     }
     let iter_elapsed = iter_start.elapsed();
 
+    // Solve tiers mirror the broadcast decisions every rank applied, so
+    // only rank 0 tallies them — the merged snapshot then matches the
+    // serial counter surface (label 0/1/2 = cholesky/lu/ridge).
+    if me == 0 {
+        if numerics.cholesky_solves > 0 {
+            dismastd_obs::counter_add_with("solve/tier", 0, numerics.cholesky_solves);
+        }
+        if numerics.lu_solves > 0 {
+            dismastd_obs::counter_add_with("solve/tier", 1, numerics.lu_solves);
+        }
+        if numerics.ridge_solves > 0 {
+            dismastd_obs::counter_add_with("solve/tier", 2, numerics.ridge_solves);
+        }
+    }
+
     // ---- gather the owned rows of every factor to rank 0 ----------------
-    let factors_out = gather_factors(ctx, plans, &factors, init)?;
+    let factors_out = {
+        let _s = dismastd_obs::span("phase/gather");
+        gather_factors(ctx, plans, &factors, init)?
+    };
 
     Ok(Ok(WorkerResult {
         loss_trace,
@@ -756,6 +855,7 @@ fn worker_body(
         factors: factors_out,
         iter_elapsed,
         numerics,
+        metrics: collector.map(dismastd_obs::Collector::finish),
     }))
 }
 

@@ -143,72 +143,99 @@ pub fn dtd(
         let mut final_inner = 0.0;
         for n in 0..n_modes {
             // MTTKRP over the complement — the bottleneck operator.
-            let hat = mttkrp(complement, &factors, n)?;
-
-            // Denominators (Eq. 5).
-            let totals: Vec<Matrix> = (0..n_modes)
-                .map(|k| state.total(k))
-                .collect::<Result<_>>()?;
-            let d1 = hadamard_skip(&totals, n)?;
-            let d0 = {
-                let g0_had = hadamard_skip(&state.gram0, n)?;
-                d1.sub(&g0_had.scale(1.0 - cfg.forgetting))?
+            let hat = {
+                let _s = dismastd_obs::span("phase/mttkrp");
+                mttkrp(complement, &factors, n)?
             };
 
             let old_n = old_rows[n];
-            let hat0 = hat.row_block(0, old_n)?;
-            let hat1 = hat.row_block(old_n, hat.rows())?;
+            let (a0, a1) = {
+                let _s = dismastd_obs::span("phase/solve");
 
-            // A_n^(0): μ Ã_n (⊛_{k≠n} G̃_k) + Â^(0), divided by D0.
-            let a0 = if old_n > 0 {
-                let cross_had = hadamard_skip(&state.cross, n)?;
-                let mut num0 = old_factors[n].matmul(&cross_had)?;
-                num0.scale_assign(cfg.forgetting);
-                num0.add_assign(&hat0)?;
-                solver.solve_right(&num0, &d0, &mut numerics)?
-            } else {
-                Matrix::zeros(0, cfg.rank)
-            };
+                // Denominators (Eq. 5).
+                let totals: Vec<Matrix> = (0..n_modes)
+                    .map(|k| state.total(k))
+                    .collect::<Result<_>>()?;
+                let d1 = hadamard_skip(&totals, n)?;
+                let d0 = {
+                    let g0_had = hadamard_skip(&state.gram0, n)?;
+                    d1.sub(&g0_had.scale(1.0 - cfg.forgetting))?
+                };
 
-            // A_n^(1): Â^(1) divided by D1.
-            let a1 = if hat1.rows() > 0 {
-                solver.solve_right(&hat1, &d1, &mut numerics)?
-            } else {
-                Matrix::zeros(0, cfg.rank)
+                let hat0 = hat.row_block(0, old_n)?;
+                let hat1 = hat.row_block(old_n, hat.rows())?;
+
+                // A_n^(0): μ Ã_n (⊛_{k≠n} G̃_k) + Â^(0), divided by D0.
+                let a0 = if old_n > 0 {
+                    let cross_had = hadamard_skip(&state.cross, n)?;
+                    let mut num0 = old_factors[n].matmul(&cross_had)?;
+                    num0.scale_assign(cfg.forgetting);
+                    num0.add_assign(&hat0)?;
+                    solver.solve_right(&num0, &d0, &mut numerics)?
+                } else {
+                    Matrix::zeros(0, cfg.rank)
+                };
+
+                // A_n^(1): Â^(1) divided by D1.
+                let a1 = if hat1.rows() > 0 {
+                    solver.solve_right(&hat1, &d1, &mut numerics)?
+                } else {
+                    Matrix::zeros(0, cfg.rank)
+                };
+                (a0, a1)
             };
 
             factors[n] = a0.vstack(&a1)?;
 
-            // Refresh the cached products for mode n (Sec. IV-B3).
-            state.gram0[n] = a0.gram();
-            state.gram1[n] = a1.gram();
-            state.cross[n] = if old_n > 0 {
-                old_factors[n].cross_gram(&a0)?
-            } else {
-                Matrix::zeros(cfg.rank, cfg.rank)
-            };
+            {
+                let _s = dismastd_obs::span("phase/gram");
+                // Refresh the cached products for mode n (Sec. IV-B3).
+                state.gram0[n] = a0.gram();
+                state.gram1[n] = a1.gram();
+                state.cross[n] = if old_n > 0 {
+                    old_factors[n].cross_gram(&a0)?
+                } else {
+                    Matrix::zeros(cfg.rank, cfg.rank)
+                };
+            }
 
             if n == n_modes - 1 {
                 // Reuse Â for ⟨X\X̃, ⟦A⟧⟩ (Eq. 7): all other factors are at
                 // their final values for this iteration, and mode n was just
                 // updated from this very Â.
+                let _s = dismastd_obs::span("phase/loss");
                 final_inner = inner_from_mttkrp(&hat, &factors[n])?;
             }
         }
         iterations += 1;
-        let loss = dtd_loss(
-            &state,
-            &LossParts {
-                mu: cfg.forgetting,
-                old_norm_sq,
-                complement_norm_sq,
-                inner: final_inner,
-            },
-        )?;
+        let loss = {
+            let _s = dismastd_obs::span("phase/loss");
+            dtd_loss(
+                &state,
+                &LossParts {
+                    mu: cfg.forgetting,
+                    old_norm_sq,
+                    complement_norm_sq,
+                    inner: final_inner,
+                },
+            )?
+        };
         loss_trace.push(loss);
         if converged(&loss_trace, cfg.tolerance) {
             break;
         }
+    }
+
+    // Label 0/1/2 = cholesky/lu/ridge: which tiers the solves escalated
+    // through, visible per step without digging into NumericsReport.
+    if numerics.cholesky_solves > 0 {
+        dismastd_obs::counter_add_with("solve/tier", 0, numerics.cholesky_solves);
+    }
+    if numerics.lu_solves > 0 {
+        dismastd_obs::counter_add_with("solve/tier", 1, numerics.lu_solves);
+    }
+    if numerics.ridge_solves > 0 {
+        dismastd_obs::counter_add_with("solve/tier", 2, numerics.ridge_solves);
     }
 
     Ok(DtdOutput {

@@ -36,6 +36,7 @@ pub mod session;
 
 pub use config::{DecompConfig, NumericsPolicy, RecoveryPolicy, WatchdogPolicy};
 pub use dismastd_cluster::{ClusterError, ClusterOptions, FaultPlan};
+pub use dismastd_obs::MetricsSnapshot;
 pub use dismastd_tensor::{
     NumericsReport, QuarantineCounts, SolvePolicy, SolveTier, ValidationMode,
 };

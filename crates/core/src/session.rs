@@ -21,6 +21,7 @@ use crate::config::{DecompConfig, RecoveryPolicy, WatchdogPolicy};
 use crate::distributed::{dismastd_with_opts, dms_mg_with_opts, ClusterConfig, PlanCache};
 use crate::dtd::dtd;
 use dismastd_cluster::{ClusterOptions, CommStatsSnapshot};
+use dismastd_obs::MetricsSnapshot;
 use dismastd_tensor::matrix::Matrix;
 use dismastd_tensor::{
     KruskalTensor, NumericsReport, Result, SparseTensor, SparseTensorBuilder, TensorError,
@@ -80,6 +81,12 @@ pub struct StepReport {
     pub effective_forgetting: f64,
     /// Solver-tier escalations across all attempts of this step.
     pub numerics: NumericsReport,
+    /// Per-phase timings, counters, and histograms for this step, present
+    /// when [`StreamingSession::set_collect_metrics`] enabled collection.
+    /// In distributed mode this merges the driver's preparation spans with
+    /// every rank's worker metrics, so span totals sum concurrent per-rank
+    /// time and can exceed [`StepReport::elapsed`].
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// The durable state of a [`StreamingSession`], as written by
@@ -143,6 +150,9 @@ pub struct StreamingSession {
     cluster_opts: ClusterOptions,
     /// Network traffic accumulated over every distributed step so far.
     comm_totals: CommStatsSnapshot,
+    /// When `true`, every ingest collects per-phase metrics into
+    /// [`StepReport::metrics`].  Runtime-only, never checkpointed.
+    collect_metrics: bool,
 }
 
 impl StreamingSession {
@@ -157,6 +167,7 @@ impl StreamingSession {
             plan_cache: PlanCache::new(),
             cluster_opts: ClusterOptions::default(),
             comm_totals: CommStatsSnapshot::default(),
+            collect_metrics: false,
         }
     }
 
@@ -186,6 +197,7 @@ impl StreamingSession {
             plan_cache: PlanCache::new(),
             cluster_opts: ClusterOptions::default(),
             comm_totals: CommStatsSnapshot::default(),
+            collect_metrics: false,
         })
     }
 
@@ -193,6 +205,19 @@ impl StreamingSession {
     /// injection) used by every subsequent distributed step.
     pub fn set_cluster_options(&mut self, opts: ClusterOptions) {
         self.cluster_opts = opts;
+    }
+
+    /// Enables or disables per-step metrics collection.  When enabled,
+    /// every [`StreamingSession::ingest`] returns a populated
+    /// [`StepReport::metrics`]; when disabled (the default) the
+    /// instrumented code paths cost one thread-local check per span.
+    pub fn set_collect_metrics(&mut self, on: bool) {
+        self.collect_metrics = on;
+    }
+
+    /// Whether per-step metrics collection is enabled.
+    pub fn collect_metrics(&self) -> bool {
+        self.collect_metrics
     }
 
     /// The cluster runtime options in effect.
@@ -245,6 +270,7 @@ impl StreamingSession {
             plan_cache: PlanCache::new(),
             cluster_opts: ClusterOptions::default(),
             comm_totals: ckpt.comm_totals,
+            collect_metrics: false,
         })
     }
 
@@ -408,6 +434,11 @@ impl StreamingSession {
     /// session state is untouched and stays usable.
     pub fn ingest(&mut self, snapshot: &SparseTensor) -> Result<StepReport> {
         let started = Instant::now();
+        // Installing the registry here makes every span/counter below — and
+        // in the serial solver, which runs on this thread — land in this
+        // step's collection.  On error paths the Collector's Drop discards
+        // the partial data and restores any displaced registry.
+        let collector = self.collect_metrics.then(dismastd_obs::begin);
         let cold_start = self.factors.is_none();
 
         if !cold_start {
@@ -428,7 +459,13 @@ impl StreamingSession {
         }
 
         // ---- validated ingest -------------------------------------------
-        let (snapshot, quarantined) = validate_snapshot(snapshot, self.cfg.numerics.validation)?;
+        let (snapshot, quarantined) = {
+            let _s = dismastd_obs::span("phase/validate");
+            validate_snapshot(snapshot, self.cfg.numerics.validation)?
+        };
+        if quarantined > 0 {
+            dismastd_obs::counter_add("ingest/quarantined", quarantined);
+        }
         let snapshot = snapshot.as_ref();
 
         // The tensor the solver actually sees: the full snapshot on a cold
@@ -436,6 +473,7 @@ impl StreamingSession {
         let work: Cow<'_, SparseTensor> = if cold_start {
             Cow::Borrowed(snapshot)
         } else {
+            let _s = dismastd_obs::span("phase/complement");
             Cow::Owned(snapshot.complement(&self.shape)?)
         };
         let processed_nnz = work.nnz();
@@ -445,6 +483,9 @@ impl StreamingSession {
         let mut step_cfg = self.cfg;
         let mut restarts = 0usize;
         let mut numerics = NumericsReport::default();
+        // Worker metrics of attempts the watchdog discarded: their compute
+        // happened, so the step's accounting keeps them.
+        let mut discarded_metrics = MetricsSnapshot::default();
         let outcome = loop {
             let attempt = match self.decompose_once(&work, &step_cfg, cold_start) {
                 Ok(a) => a,
@@ -459,6 +500,7 @@ impl StreamingSession {
                         });
                     }
                     restarts += 1;
+                    dismastd_obs::counter_add("watchdog/restart", 1);
                     step_cfg.forgetting *= wd.mu_damping;
                     continue;
                 }
@@ -478,6 +520,9 @@ impl StreamingSession {
                     if let Some(c) = &attempt.comm {
                         self.comm_totals.merge(c);
                     }
+                    if let Some(m) = &attempt.metrics {
+                        discarded_metrics.merge(m);
+                    }
                     if restarts >= wd.max_restarts {
                         return Err(TensorError::Diverged {
                             restarts,
@@ -485,6 +530,7 @@ impl StreamingSession {
                         });
                     }
                     restarts += 1;
+                    dismastd_obs::counter_add("watchdog/restart", 1);
                     step_cfg.forgetting *= wd.mu_damping;
                 }
             }
@@ -496,6 +542,18 @@ impl StreamingSession {
         } else {
             outcome.kruskal.fit(snapshot)?
         };
+        // Driver-side spans (validate, complement, serial solver) plus the
+        // rank-0 worker's metrics in distributed mode.
+        let metrics = collector.map(|c| {
+            let mut m = c.finish();
+            if let Some(wm) = &outcome.metrics {
+                m.merge(wm);
+            }
+            if !discarded_metrics.is_empty() {
+                m.merge(&discarded_metrics);
+            }
+            m
+        });
         let report = StepReport {
             step: self.step,
             cold_start,
@@ -517,6 +575,7 @@ impl StreamingSession {
             watchdog_restarts: restarts,
             effective_forgetting: step_cfg.forgetting,
             numerics,
+            metrics,
         };
         if let Some(c) = &report.comm {
             self.comm_totals.merge(c);
@@ -549,6 +608,7 @@ impl StreamingSession {
                         comm: None,
                         iter_elapsed: attempt_start.elapsed(),
                         numerics: out.numerics,
+                        metrics: None,
                     })
                 }
                 ExecutionMode::Distributed(cc) => {
@@ -561,6 +621,7 @@ impl StreamingSession {
                         comm: Some(out.comm),
                         iter_elapsed: out.iter_elapsed,
                         numerics: out.numerics,
+                        metrics: out.metrics,
                     })
                 }
             }
@@ -583,6 +644,7 @@ impl StreamingSession {
                         comm: None,
                         iter_elapsed: attempt_start.elapsed(),
                         numerics: out.numerics,
+                        metrics: None,
                     })
                 }
                 ExecutionMode::Distributed(cc) => {
@@ -601,6 +663,7 @@ impl StreamingSession {
                         comm: Some(out.comm),
                         iter_elapsed: out.iter_elapsed,
                         numerics: out.numerics,
+                        metrics: out.metrics,
                     })
                 }
             }
@@ -616,6 +679,10 @@ struct AttemptOutcome {
     comm: Option<CommStatsSnapshot>,
     iter_elapsed: Duration,
     numerics: NumericsReport,
+    /// All ranks' worker metrics, merged (distributed mode with collection
+    /// on); serial attempts record straight into the driver thread's
+    /// registry instead.
+    metrics: Option<MetricsSnapshot>,
 }
 
 /// Applies the configured ingest validation, returning the tensor to

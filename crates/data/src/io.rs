@@ -30,16 +30,19 @@ pub fn write_coo_text(tensor: &SparseTensor, w: impl Write) -> Result<()> {
 
 /// Reads a tensor written by [`write_coo_text`].
 ///
-/// Lines starting with `#` (comments) and blank lines are skipped.  Indices
-/// are 1-based on disk.
+/// Lines starting with `#` and `%`-prefixed lines other than the `%shape`
+/// header (the FROSTT comment convention) are skipped, as are blank lines.
+/// Indices are 1-based on disk.  Exactly one `%shape` header is allowed: a
+/// second one is rejected rather than silently discarding everything parsed
+/// before it.
 ///
 /// # Errors
-/// Returns [`TensorError::InvalidArgument`] on malformed input or I/O error.
+/// Returns [`TensorError::InvalidArgument`] on malformed input, a duplicate
+/// `%shape` header, or I/O error.
 pub fn read_coo_text(r: impl Read) -> Result<SparseTensor> {
     let reader = BufReader::new(r);
     let bad = |msg: String| TensorError::InvalidArgument(msg);
-    let mut shape: Option<Vec<usize>> = None;
-    let mut builder: Option<SparseTensorBuilder> = None;
+    let mut state: Option<(Vec<usize>, SparseTensorBuilder)> = None;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| bad(format!("io error: {e}")))?;
         let line = line.trim();
@@ -47,20 +50,28 @@ pub fn read_coo_text(r: impl Read) -> Result<SparseTensor> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("%shape") {
+            if state.is_some() {
+                return Err(bad(format!(
+                    "line {}: duplicate %shape header (one header per file)",
+                    lineno + 1
+                )));
+            }
             let dims: std::result::Result<Vec<usize>, _> =
                 rest.split_whitespace().map(str::parse).collect();
             let dims = dims.map_err(|e| bad(format!("line {}: bad shape: {e}", lineno + 1)))?;
             if dims.is_empty() {
                 return Err(bad("empty shape header".into()));
             }
-            builder = Some(SparseTensorBuilder::new(dims.clone()));
-            shape = Some(dims);
+            state = Some((dims.clone(), SparseTensorBuilder::new(dims)));
             continue;
         }
-        let shape = shape
-            .as_ref()
+        if line.starts_with('%') {
+            // FROSTT-style comment line.
+            continue;
+        }
+        let (shape, builder) = state
+            .as_mut()
             .ok_or_else(|| bad("data before %shape header".into()))?;
-        let builder = builder.as_mut().expect("builder exists with shape");
         let mut parts = line.split_whitespace();
         let mut idx = Vec::with_capacity(shape.len());
         for _ in 0..shape.len() {
@@ -86,8 +97,9 @@ pub fn read_coo_text(r: impl Read) -> Result<SparseTensor> {
         }
         builder.push(&idx, v)?;
     }
-    builder
+    state
         .ok_or_else(|| bad("missing %shape header".into()))?
+        .1
         .build()
 }
 
@@ -157,6 +169,64 @@ mod tests {
         assert!(read_coo_text("%shape 2 2\n1 1 1.0 9\n".as_bytes()).is_err()); // extra field
         assert!(read_coo_text("%shape 2 2\n3 1 1.0\n".as_bytes()).is_err()); // out of bounds
         assert!(read_coo_text("%shape 2 2\n1 x 1.0\n".as_bytes()).is_err()); // bad index
+    }
+
+    #[test]
+    fn duplicate_shape_header_is_a_typed_error_not_data_loss() {
+        // A second %shape used to silently reset the builder, discarding
+        // every nonzero parsed before it.
+        let text = "%shape 2 2\n1 1 3.0\n%shape 2 2\n2 2 4.0\n";
+        let err = read_coo_text(text.as_bytes()).unwrap_err();
+        match err {
+            TensorError::InvalidArgument(msg) => {
+                assert!(msg.contains("duplicate %shape"), "msg = {msg}");
+                assert!(msg.contains("line 3"), "msg = {msg}");
+            }
+            other => panic!("expected InvalidArgument, got {other:?}"),
+        }
+        // Even a differing second header is rejected the same way.
+        let text = "%shape 2 2\n1 1 3.0\n%shape 9 9\n";
+        assert!(read_coo_text(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn percent_comment_lines_are_skipped() {
+        // FROSTT convention: % starts a comment; only %shape is structural.
+        let text = "% exported by frostt\n%shape 2 2\n% nnz: 2\n1 1 3.0\n%trailer\n2 2 4.0\n";
+        let t = read_coo_text(text.as_bytes()).unwrap();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 3.0);
+        assert_eq!(t.get(&[1, 1]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn trailing_junk_is_rejected() {
+        // Extra fields after the value, and non-numeric trailing tokens.
+        assert!(read_coo_text("%shape 2 2\n1 1 1.0 junk\n".as_bytes()).is_err());
+        assert!(read_coo_text("%shape 2 2\n1 1 1.0 2 2 2.0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_and_headerless_files_are_rejected() {
+        assert!(read_coo_text("".as_bytes()).is_err());
+        assert!(read_coo_text("\n\n# only comments\n% and these\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn adversarial_round_trip_survives_comment_injection() {
+        // Round-trip a tensor, then splice comments between every line; the
+        // parse must be unchanged.
+        let t = sample();
+        let mut buf = Vec::new();
+        write_coo_text(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let noisy: String = text
+            .lines()
+            .flat_map(|l| [l, "% noise", "# more noise", ""])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = read_coo_text(noisy.as_bytes()).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

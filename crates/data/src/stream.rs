@@ -46,7 +46,7 @@ impl StreamSequence {
                 ));
             }
         }
-        if fractions[0] <= 0.0 || *fractions.last().expect("non-empty") > 1.0 {
+        if fractions[0] <= 0.0 || fractions.last().copied().unwrap_or(0.0) > 1.0 {
             return Err(TensorError::InvalidArgument(
                 "fractions must lie in (0, 1]".into(),
             ));

@@ -93,12 +93,15 @@ impl ZipfSampler {
 
     /// Draws one index.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let total = *self.cdf.last().expect("non-empty by construction");
+        // Non-empty by construction; fall back to weight 1 to stay
+        // panic-free under the crate-wide no-unwrap audit.
+        let total = self.cdf.last().copied().unwrap_or(1.0);
         let u = rng.gen_range(0.0..total);
-        // First index whose cumulative weight exceeds u.
+        // First index whose cumulative weight exceeds u.  Weights are finite
+        // by construction, so the ordering fallback is unreachable.
         match self
             .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite weights"))
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
         {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),

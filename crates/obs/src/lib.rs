@@ -1,0 +1,708 @@
+//! # dismastd-obs
+//!
+//! Lightweight observability for the DisMASTD crates: scoped span timers,
+//! counters, gauges, and fixed log-scale histograms, collected into a
+//! plain-data [`MetricsSnapshot`].
+//!
+//! ## Model
+//!
+//! Metrics are recorded into a **thread-local registry**.  Nothing is
+//! collected until a caller installs one with [`begin`]; every recording
+//! call on a thread without a registry is a no-op costing one thread-local
+//! access and a branch — in particular, [`span`] does not even read the
+//! clock when disabled, so instrumented kernels stay at their uninstrumented
+//! speed (the disabled-mode cost contract; see DESIGN.md "Observability").
+//!
+//! ```
+//! use dismastd_obs as obs;
+//! let collector = obs::begin();
+//! {
+//!     let _s = obs::span!("phase/mttkrp", 1); // labelled by mode
+//!     // ... hot work ...
+//! }
+//! obs::counter_add("plan/rebuild", 1);
+//! let snap = collector.finish();
+//! assert_eq!(snap.counter_value("plan/rebuild"), 1);
+//! assert!(snap.span_total_ns("phase/mttkrp") > 0);
+//! ```
+//!
+//! Registries nest: [`begin`] displaces the current registry and
+//! [`Collector::finish`] restores it, so a session-level collector and a
+//! test-local collector can coexist on one thread.  Dropping a [`Collector`]
+//! without calling `finish` restores the displaced registry and discards
+//! the collected data (the error-path behaviour).
+//!
+//! ## Serialization
+//!
+//! [`MetricsSnapshot`] is plain data — names, labels, and integer/float
+//! aggregates.  No `Instant` or other monotonic-clock state ever reaches a
+//! serialized snapshot; durations are recorded as elapsed nanoseconds at
+//! span drop.
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Label value meaning "no label": spans/counters recorded without an
+/// explicit label use this sentinel, so label `0` stays usable (mode 0).
+pub const NO_LABEL: u64 = u64::MAX;
+
+/// Histogram bucket count: bucket `0` holds zero values, bucket `i >= 1`
+/// holds values with bit length `i`, i.e. the range `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+struct HistAgg {
+    count: u64,
+    total: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistAgg {
+    fn default() -> Self {
+        HistAgg {
+            count: 0,
+            total: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// The per-thread metrics store.  `BTreeMap` keys keep snapshots
+/// deterministically ordered by `(name, label)`.
+#[derive(Default)]
+struct Inner {
+    spans: BTreeMap<(&'static str, u64), SpanAgg>,
+    counters: BTreeMap<(&'static str, u64), u64>,
+    gauges: BTreeMap<(&'static str, u64), f64>,
+    histograms: BTreeMap<&'static str, HistAgg>,
+}
+
+impl Inner {
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            spans: self
+                .spans
+                .iter()
+                .map(|(&(name, label), agg)| SpanStat {
+                    name: name.to_string(),
+                    label,
+                    count: agg.count,
+                    total_ns: agg.total_ns,
+                    max_ns: agg.max_ns,
+                })
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(&(name, label), &value)| CounterStat {
+                    name: name.to_string(),
+                    label,
+                    value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&(name, label), &value)| GaugeStat {
+                    name: name.to_string(),
+                    label,
+                    value,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&name, agg)| HistogramStat {
+                    name: name.to_string(),
+                    count: agg.count,
+                    total: agg.total,
+                    buckets: agg.buckets.to_vec(),
+                })
+                .collect(),
+        }
+    }
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Option<Box<Inner>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` against the installed registry, or does nothing.
+#[inline]
+fn with_inner(f: impl FnOnce(&mut Inner)) {
+    REGISTRY.with(|r| {
+        if let Some(inner) = r.borrow_mut().as_mut() {
+            f(inner);
+        }
+    });
+}
+
+/// Whether this thread currently has a metrics registry installed.
+#[inline]
+pub fn installed() -> bool {
+    REGISTRY.with(|r| r.borrow().is_some())
+}
+
+/// Installs a fresh registry on this thread and returns the handle that
+/// collects it.  The previously installed registry (if any) is displaced
+/// and restored by [`Collector::finish`] or the collector's `Drop`.
+#[must_use = "metrics are discarded unless the collector is finished"]
+pub fn begin() -> Collector {
+    let prev = REGISTRY.with(|r| r.borrow_mut().replace(Box::new(Inner::default())));
+    Collector { prev, active: true }
+}
+
+/// Handle to an installed registry; see [`begin`].
+pub struct Collector {
+    prev: Option<Box<Inner>>,
+    active: bool,
+}
+
+impl Collector {
+    /// Uninstalls the registry, restores the displaced one, and returns
+    /// everything recorded on this thread since [`begin`].
+    pub fn finish(mut self) -> MetricsSnapshot {
+        self.active = false;
+        let inner = REGISTRY.with(|r| std::mem::replace(&mut *r.borrow_mut(), self.prev.take()));
+        inner.map(|i| i.snapshot()).unwrap_or_default()
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        if self.active {
+            // Abandoned mid-collection (error path): restore the displaced
+            // registry and discard what was recorded.
+            REGISTRY.with(|r| *r.borrow_mut() = self.prev.take());
+        }
+    }
+}
+
+/// Scoped timer: measures from creation to drop and records into the
+/// thread's registry.  When no registry is installed the guard holds no
+/// clock reading at all — creation and drop are each one thread-local
+/// access plus a branch.
+#[must_use = "a span measures until it is dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    label: u64,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            with_inner(|inner| {
+                let agg = self.spans_entry(inner);
+                agg.count += 1;
+                agg.total_ns += ns;
+                agg.max_ns = agg.max_ns.max(ns);
+            });
+        }
+    }
+}
+
+impl SpanGuard {
+    fn spans_entry<'a>(&self, inner: &'a mut Inner) -> &'a mut SpanAgg {
+        inner.spans.entry((self.name, self.label)).or_default()
+    }
+}
+
+/// Starts an unlabelled span.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, NO_LABEL)
+}
+
+/// Starts a span labelled by a small integer (a mode, a tier, a rank).
+#[inline]
+pub fn span_with(name: &'static str, label: u64) -> SpanGuard {
+    let start = if installed() {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    SpanGuard { name, label, start }
+}
+
+/// `span!("name")` or `span!("name", label)` — sugar over [`span`] /
+/// [`span_with`]; the label expression is cast to `u64`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $label:expr) => {
+        $crate::span_with($name, $label as u64)
+    };
+}
+
+/// Adds `delta` to an unlabelled counter.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    counter_add_with(name, NO_LABEL, delta);
+}
+
+/// Adds `delta` to a labelled counter.
+#[inline]
+pub fn counter_add_with(name: &'static str, label: u64, delta: u64) {
+    with_inner(|inner| *inner.counters.entry((name, label)).or_insert(0) += delta);
+}
+
+/// Sets an unlabelled gauge to `value` (last write wins within a thread).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    gauge_set_with(name, NO_LABEL, value);
+}
+
+/// Sets a labelled gauge.
+#[inline]
+pub fn gauge_set_with(name: &'static str, label: u64, value: f64) {
+    with_inner(|inner| {
+        inner.gauges.insert((name, label), value);
+    });
+}
+
+/// Records one observation into a fixed log-scale histogram (bucket = bit
+/// length of `value`; see [`HISTOGRAM_BUCKETS`]).
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    with_inner(|inner| {
+        let agg = inner.histograms.entry(name).or_default();
+        agg.count += 1;
+        agg.total += value;
+        agg.buckets[bucket_index(value)] += 1;
+    });
+}
+
+/// Bucket index for a histogram value: `0` for zero, otherwise the bit
+/// length (so bucket `i` covers `[2^(i-1), 2^i)`).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+// ---- snapshot ------------------------------------------------------------
+
+/// Aggregate of one `(name, label)` span: call count, total and maximum
+/// elapsed nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    pub name: String,
+    /// [`NO_LABEL`] when the span was unlabelled.
+    pub label: u64,
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+/// One `(name, label)` counter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterStat {
+    pub name: String,
+    /// [`NO_LABEL`] when the counter was unlabelled.
+    pub label: u64,
+    pub value: u64,
+}
+
+/// One `(name, label)` gauge value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeStat {
+    pub name: String,
+    /// [`NO_LABEL`] when the gauge was unlabelled.
+    pub label: u64,
+    pub value: f64,
+}
+
+/// One histogram: observation count, sum, and log-scale bucket counts
+/// (bucket `0` = zero values, bucket `i` = values in `[2^(i-1), 2^i)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramStat {
+    pub name: String,
+    pub count: u64,
+    pub total: u64,
+    pub buckets: Vec<u64>,
+}
+
+/// Everything one registry collected, sorted by `(name, label)`.
+///
+/// Plain data: safe to clone, compare, serialize, and merge across threads
+/// (worker ranks) or steps.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub spans: Vec<SpanStat>,
+    pub counters: Vec<CounterStat>,
+    pub gauges: Vec<GaugeStat>,
+    pub histograms: Vec<HistogramStat>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Total nanoseconds across every label of the named span.
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.total_ns)
+            .sum()
+    }
+
+    /// Total nanoseconds of all `phase/`-prefixed spans.  Phase spans are
+    /// non-overlapping by convention (see DESIGN.md), so on a single
+    /// thread this sum is bounded by the enclosing wall-clock interval.
+    pub fn phase_total_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name.starts_with("phase/"))
+            .map(|s| s.total_ns)
+            .sum()
+    }
+
+    /// Sum across every label of the named counter.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The named gauge's value for a given label, if recorded.
+    pub fn gauge_value(&self, name: &str, label: u64) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.label == label)
+            .map(|g| g.value)
+    }
+
+    /// The named histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStat> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Folds `other` into `self`: span counts/totals add (max of maxes),
+    /// counters add, gauges keep the larger value, histograms add
+    /// bucket-wise.  Used to combine per-rank worker snapshots.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for s in &other.spans {
+            match self
+                .spans
+                .iter_mut()
+                .find(|m| m.name == s.name && m.label == s.label)
+            {
+                Some(m) => {
+                    m.count += s.count;
+                    m.total_ns += s.total_ns;
+                    m.max_ns = m.max_ns.max(s.max_ns);
+                }
+                None => self.spans.push(s.clone()),
+            }
+        }
+        for c in &other.counters {
+            match self
+                .counters
+                .iter_mut()
+                .find(|m| m.name == c.name && m.label == c.label)
+            {
+                Some(m) => m.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self
+                .gauges
+                .iter_mut()
+                .find(|m| m.name == g.name && m.label == g.label)
+            {
+                Some(m) => m.value = m.value.max(g.value),
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|m| m.name == h.name) {
+                Some(m) => {
+                    m.count += h.count;
+                    m.total += h.total;
+                    if m.buckets.len() < h.buckets.len() {
+                        m.buckets.resize(h.buckets.len(), 0);
+                    }
+                    for (d, &s) in m.buckets.iter_mut().zip(&h.buckets) {
+                        *d += s;
+                    }
+                }
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.spans
+            .sort_by(|a, b| (&a.name, a.label).cmp(&(&b.name, b.label)));
+        self.counters
+            .sort_by(|a, b| (&a.name, a.label).cmp(&(&b.name, b.label)));
+        self.gauges
+            .sort_by(|a, b| (&a.name, a.label).cmp(&(&b.name, b.label)));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Human-readable multi-line report.
+    pub fn to_text(&self) -> String {
+        fn key(name: &str, label: u64) -> String {
+            if label == NO_LABEL {
+                name.to_string()
+            } else {
+                format!("{name}[{label}]")
+            }
+        }
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "  {:<28} count={:<6} total={:.3}ms max={:.3}ms\n",
+                    key(&s.name, s.label),
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    s.max_ns as f64 / 1e6,
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &self.counters {
+                out.push_str(&format!("  {:<28} {}\n", key(&c.name, c.label), c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &self.gauges {
+                out.push_str(&format!("  {:<28} {}\n", key(&g.name, g.label), g.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                let mean = if h.count == 0 {
+                    0.0
+                } else {
+                    h.total as f64 / h.count as f64
+                };
+                out.push_str(&format!(
+                    "  {:<28} count={} total={} mean={mean:.1}\n",
+                    h.name, h.count, h.total
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// JSON export of the full snapshot.
+    ///
+    /// # Errors
+    /// Propagates the serializer's error (not reachable for this data).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_thread_records_nothing() {
+        assert!(!installed());
+        {
+            let s = span("phase/test");
+            assert!(s.start.is_none(), "no clock read when disabled");
+        }
+        counter_add("x", 1);
+        histogram_record("h", 7);
+        // Nothing was installed, so a fresh collector starts empty.
+        let snap = begin().finish();
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn spans_counters_gauges_histograms_round_trip() {
+        let c = begin();
+        {
+            let _a = span!("phase/alpha");
+            let _b = span!("kernel/beta", 2);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        counter_add("plan/rebuild", 2);
+        counter_add_with("solve/tier", 1, 3);
+        gauge_set("mem/bytes", 123.0);
+        histogram_record("comm/msg_bytes", 0);
+        histogram_record("comm/msg_bytes", 1);
+        histogram_record("comm/msg_bytes", 800);
+        let snap = c.finish();
+        assert!(!installed());
+
+        assert!(snap.span_total_ns("phase/alpha") >= 1_000_000);
+        assert!(snap.span_total_ns("kernel/beta") >= 1_000_000);
+        assert_eq!(snap.counter_value("plan/rebuild"), 2);
+        assert_eq!(snap.counter_value("solve/tier"), 3);
+        assert_eq!(snap.gauge_value("mem/bytes", NO_LABEL), Some(123.0));
+        let h = snap.histogram("comm/msg_bytes").expect("recorded");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.total, 801);
+        assert_eq!(h.buckets[0], 1); // value 0
+        assert_eq!(h.buckets[1], 1); // value 1
+        assert_eq!(h.buckets[10], 1); // 800 in [512, 1024)
+    }
+
+    #[test]
+    fn phase_total_sums_only_phase_spans() {
+        let c = begin();
+        {
+            let _p = span("phase/a");
+            let _k = span("kernel/b");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = c.finish();
+        assert_eq!(snap.phase_total_ns(), snap.span_total_ns("phase/a"));
+        assert!(
+            snap.phase_total_ns() < snap.span_total_ns("phase/a") + snap.span_total_ns("kernel/b")
+        );
+    }
+
+    #[test]
+    fn collectors_nest_and_restore() {
+        let outer = begin();
+        counter_add("outer", 1);
+        {
+            let inner = begin();
+            counter_add("inner", 1);
+            let snap = inner.finish();
+            assert_eq!(snap.counter_value("inner"), 1);
+            assert_eq!(snap.counter_value("outer"), 0);
+        }
+        // The outer registry is restored and still collecting.
+        counter_add("outer", 1);
+        let snap = outer.finish();
+        assert_eq!(snap.counter_value("outer"), 2);
+        assert_eq!(snap.counter_value("inner"), 0);
+        assert!(!installed());
+    }
+
+    #[test]
+    fn dropped_collector_discards_and_restores() {
+        let outer = begin();
+        {
+            let _abandoned = begin();
+            counter_add("lost", 5);
+            // dropped without finish()
+        }
+        assert!(installed(), "outer registry restored");
+        counter_add("kept", 1);
+        let snap = outer.finish();
+        assert_eq!(snap.counter_value("lost"), 0);
+        assert_eq!(snap.counter_value("kept"), 1);
+    }
+
+    #[test]
+    fn merge_combines_and_sorts() {
+        let a = {
+            let c = begin();
+            counter_add("n", 1);
+            {
+                let _s = span!("phase/x", 0);
+            }
+            histogram_record("h", 4);
+            c.finish()
+        };
+        let b = {
+            let c = begin();
+            counter_add("n", 2);
+            counter_add("b-only", 7);
+            {
+                let _s = span!("phase/x", 0);
+            }
+            histogram_record("h", 4);
+            c.finish()
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.counter_value("n"), 3);
+        assert_eq!(m.counter_value("b-only"), 7);
+        let span_x = m
+            .spans
+            .iter()
+            .find(|s| s.name == "phase/x")
+            .expect("merged");
+        assert_eq!(span_x.count, 2);
+        assert_eq!(
+            m.span_total_ns("phase/x"),
+            a.span_total_ns("phase/x") + b.span_total_ns("phase/x")
+        );
+        let h = m.histogram("h").expect("merged");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.total, 8);
+        assert_eq!(h.buckets[3], 2);
+        // Deterministic ordering after merge.
+        let names: Vec<&str> = m.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["b-only", "n"]);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let c = begin();
+        {
+            let _s = span!("phase/io", 3);
+        }
+        counter_add("events", 9);
+        gauge_set("ratio", 0.5);
+        histogram_record("sizes", 100);
+        let snap = c.finish();
+        let json = snap.to_json().expect("serializable");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+        let text = snap.to_text();
+        assert!(text.contains("phase/io[3]"));
+        assert!(text.contains("events"));
+    }
+
+    #[test]
+    fn bucket_index_covers_ranges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn registries_are_per_thread() {
+        let c = begin();
+        counter_add("main", 1);
+        std::thread::spawn(|| {
+            assert!(!installed(), "registry must not leak across threads");
+            counter_add("other", 1); // no-op
+        })
+        .join()
+        .expect("thread ok");
+        let snap = c.finish();
+        assert_eq!(snap.counter_value("main"), 1);
+        assert_eq!(snap.counter_value("other"), 0);
+    }
+}

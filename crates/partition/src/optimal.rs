@@ -83,7 +83,7 @@ pub fn optimal_arbitrary(slice_nnz: &[u64], num_parts: usize) -> ModePartition {
     // Seed the upper bound with MTP (always feasible).
     let seed = crate::mtp(slice_nnz, p);
     let mut best_assignment: Vec<u32> = seed.assignment().to_vec();
-    let mut best_max = *seed.loads(slice_nnz).iter().max().expect("p >= 1");
+    let mut best_max = seed.loads(slice_nnz).iter().max().copied().unwrap_or(0);
 
     // Lower bound: ceil(total / p) and the largest single slice.
     let total: u64 = slice_nnz.iter().sum();
@@ -110,7 +110,7 @@ pub fn optimal_arbitrary(slice_nnz: &[u64], num_parts: usize) -> ModePartition {
             return; // already optimal
         }
         if depth == order.len() {
-            let cur = *loads.iter().max().expect("non-empty loads");
+            let cur = loads.iter().max().copied().unwrap_or(0);
             if cur < *best_max {
                 *best_max = cur;
                 best_assignment.copy_from_slice(assignment);

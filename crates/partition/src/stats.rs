@@ -54,8 +54,8 @@ impl BalanceStats {
             .sum::<f64>()
             / n;
         let std_dev = var.sqrt();
-        let min = *loads.iter().min().expect("non-empty");
-        let max = *loads.iter().max().expect("non-empty");
+        let min = loads.iter().min().copied().unwrap_or(0);
+        let max = loads.iter().max().copied().unwrap_or(0);
         BalanceStats {
             parts: loads.len(),
             mean,

@@ -53,6 +53,7 @@ pub struct MttkrpPlan {
 impl MttkrpPlan {
     /// Builds the per-mode layouts with one stable counting sort per mode.
     pub fn build(tensor: &SparseTensor) -> Self {
+        let _span = dismastd_obs::span("kernel/plan_build");
         let order = tensor.order();
         let modes = (0..order).map(|m| build_mode(tensor, m)).collect();
         MttkrpPlan {
@@ -121,6 +122,7 @@ impl MttkrpPlan {
                 right: vec![out.rows(), out.cols()],
             });
         }
+        let _span = dismastd_obs::span_with("kernel/mttkrp_plan", mode as u64);
         let order = self.order();
         let km = order - 1;
         let mp = &self.modes[mode];

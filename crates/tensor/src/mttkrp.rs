@@ -96,6 +96,7 @@ pub fn mttkrp_into(
             right: vec![out.rows(), out.cols()],
         });
     }
+    let _span = dismastd_obs::span_with("kernel/mttkrp_naive", mode as u64);
     let order = tensor.order();
     let mut prod = vec![0.0f64; r];
     for (idx, v) in tensor.iter() {

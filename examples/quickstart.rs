@@ -9,6 +9,9 @@
 //! cold-starts with static CP-ALS on the first snapshot and then applies
 //! DTD to the complement only — watch the `processed` column stay a small
 //! fraction of the snapshot size.
+//!
+//! Set `DISMASTD_SMOKE=1` to run a miniature version of the same pipeline
+//! (used by `scripts/check.sh` as an end-to-end smoke test).
 
 use dismastd_core::{DecompConfig, ExecutionMode, StreamingSession};
 use dismastd_data::{uniform_tensor, StreamSequence};
@@ -16,10 +19,16 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
+    let smoke = std::env::var_os("DISMASTD_SMOKE").is_some();
+
     // 1. A synthetic third-order tensor (stand-in for your data).
     let mut rng = ChaCha8Rng::seed_from_u64(2024);
-    let full = uniform_tensor(&[120, 100, 60], 20_000, &mut rng)
-        .expect("generator parameters are feasible");
+    let (shape, nnz): (&[usize], usize) = if smoke {
+        (&[24, 20, 16], 1_500)
+    } else {
+        (&[120, 100, 60], 20_000)
+    };
+    let full = uniform_tensor(shape, nnz, &mut rng).expect("generator parameters are feasible");
 
     // 2. The multi-aspect streaming schedule from the paper's Fig. 5:
     //    snapshots at 75%, 80%, …, 100% of every mode.
@@ -30,10 +39,15 @@ fn main() {
     //    defaults), run serially.
     let cfg = DecompConfig::default();
     let mut session = StreamingSession::new(cfg, ExecutionMode::Serial);
+    // Opt in to per-phase metrics: every report now carries a snapshot of
+    // where the step spent its time.
+    session.set_collect_metrics(true);
 
+    let mut last_metrics = None;
     println!("step  shape              nnz     processed  iters  fit      time/iter");
     for snapshot in stream.iter() {
         let report = session.ingest(snapshot).expect("snapshots are nested");
+        last_metrics = report.metrics.clone();
         println!(
             "{:>4}  {:<17} {:>7} {:>10}  {:>5}  {:.4}  {:>9.2?}{}",
             report.step,
@@ -63,4 +77,10 @@ fn main() {
         .predict(&[3, 5, 7])
         .expect("index within the final shape");
     println!("predicted value at [3, 5, 7]: {prediction:.4}");
+
+    // 5. Where did the last step spend its time?
+    if let Some(metrics) = last_metrics {
+        println!("\nper-phase breakdown of the final step:");
+        print!("{}", metrics.to_text());
+    }
 }

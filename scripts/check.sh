@@ -15,8 +15,12 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
-echo "==> stress suites (numerics robustness + fault injection + recovery)"
-cargo test -q -p dismastd-integration-tests --test numerics_robustness --test fault_injection
+echo "==> stress suites (numerics robustness + fault injection + recovery + observability)"
+cargo test -q -p dismastd-integration-tests --test numerics_robustness --test fault_injection \
+  --test observability
+
+echo "==> example smoke run (miniature end-to-end pipeline)"
+DISMASTD_SMOKE=1 cargo run -q --release -p dismastd-examples --bin quickstart > /dev/null
 
 echo "==> panic audit: no infallible unwraps on cluster receive paths"
 # Cross-worker conditions (a peer's payload, a peer's liveness) must flow
@@ -41,7 +45,12 @@ echo "==> panic audit: no unwrap/expect on solve & ingest paths"
 for f in crates/tensor/src/linalg.rs crates/tensor/src/robust.rs \
          crates/tensor/src/coo.rs crates/core/src/als.rs \
          crates/core/src/dtd.rs crates/core/src/session.rs \
-         crates/core/src/distributed.rs; do
+         crates/core/src/distributed.rs \
+         crates/data/src/io.rs crates/data/src/stream.rs \
+         crates/data/src/synth.rs \
+         crates/partition/src/gtp.rs crates/partition/src/grid.rs \
+         crates/partition/src/mtp.rs crates/partition/src/optimal.rs \
+         crates/partition/src/stats.rs crates/partition/src/lib.rs; do
   if sed '/#\[cfg(test)\]/q' "$f" \
     | grep -nE '\.unwrap\(\)|\.expect\(' \
     | grep -vE '^[0-9]+:\s*//' ; then

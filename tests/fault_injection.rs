@@ -137,6 +137,9 @@ fn message_faults_leave_logical_traffic_identical() {
                 acc += p.try_into_f64()?.iter().sum::<f64>();
             }
             acc += ctx.try_allreduce_sum_scalar(me)?;
+            // Mid-run, from every rank: the per-sender breakdown must
+            // account for every logical byte even while faults fire.
+            assert!(ctx.stats().reconciles());
         }
         Ok(acc)
     };
@@ -164,6 +167,12 @@ fn message_faults_leave_logical_traffic_identical() {
     assert_eq!(clean_stats.messages, chaos_stats.messages);
     assert_eq!(clean_stats.collectives, chaos_stats.collectives);
     assert_eq!(clean_stats.bytes_by_sender, chaos_stats.bytes_by_sender);
+    // Per-sender attribution accounts for every logical byte, faults or
+    // not, and nothing fell into the out-of-range bucket.
+    assert!(clean_stats.reconciles());
+    assert!(chaos_stats.reconciles());
+    assert_eq!(clean_stats.unattributed_bytes, 0);
+    assert_eq!(chaos_stats.unattributed_bytes, 0);
     // The chaos run really did inject something.
     assert!(
         chaos_stats.retransmits > 0,
