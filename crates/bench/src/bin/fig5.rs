@@ -28,7 +28,7 @@ use std::collections::BTreeMap;
 const WORKERS: usize = 15; // the paper's cluster size
 const PARTS: usize = 15; // partitions per mode = nodes (the paper's guide)
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = ExperimentContext::from_env();
     let cfg = DecompConfig::default().with_max_iters(5);
     // 70% primes the previous decomposition; 75%..100% are the plotted steps.
@@ -40,8 +40,8 @@ fn main() {
         ctx.scale
     );
     for spec in DatasetSpec::all(ctx.scale) {
-        let full = spec.generate().expect("dataset generates");
-        let stream = StreamSequence::cut(&full, &fractions).expect("valid schedule");
+        let full = spec.generate()?;
+        let stream = StreamSequence::cut(&full, &fractions)?;
         println!("-- {} {:?}, nnz {} --", spec.name, full.shape(), full.nnz());
 
         let mut rows: Vec<Vec<String>> = Vec::new();
@@ -52,20 +52,16 @@ fn main() {
 
             // ---- DisMASTD: DTD over the complement, warm factors ----------
             let method = format!("DisMASTD-{}", partitioner.name());
-            let prime =
-                dismastd_core::als::cp_als(stream.snapshot(0), &cfg).expect("priming ALS runs");
+            let prime = dismastd_core::als::cp_als(stream.snapshot(0), &cfg)?;
             let mut prev = prime.kruskal;
             let mut prev_shape = stream.snapshot(0).shape().to_vec();
             for t in 1..stream.len() {
                 let snap = stream.snapshot(t);
-                let complement = snap.complement(&prev_shape).expect("nested");
+                let complement = snap.complement(&prev_shape)?;
                 let (serial_iter, serial_out) =
-                    measure_serial_iter(&complement, prev.factors(), &cfg)
-                        .expect("serial DTD runs");
-                let dist = dismastd(&complement, prev.factors(), &cfg, &cluster)
-                    .expect("distributed DTD runs");
-                let (max_load, _) =
-                    placement_profile(&complement, partitioner, PARTS, WORKERS).expect("placement");
+                    measure_serial_iter(&complement, prev.factors(), &cfg)?;
+                let dist = dismastd(&complement, prev.factors(), &cfg, &cluster)?;
+                let (max_load, _) = placement_profile(&complement, partitioner, PARTS, WORKERS)?;
                 let profile = profile_from_run(&complement, &dist, max_load, WORKERS, PARTS);
                 let modeled = modeled_iter_time(serial_iter, &profile, &ctx.cost);
                 rows.push(vec![
@@ -99,11 +95,9 @@ fn main() {
                 let zero_old: Vec<Matrix> = (0..snap.order())
                     .map(|_| Matrix::zeros(0, cfg.rank))
                     .collect();
-                let (serial_iter, _) =
-                    measure_serial_iter(snap, &zero_old, &cfg).expect("serial ALS runs");
-                let dist = dms_mg(snap, &cfg, &cluster).expect("distributed ALS runs");
-                let (max_load, _) =
-                    placement_profile(snap, partitioner, PARTS, WORKERS).expect("placement");
+                let (serial_iter, _) = measure_serial_iter(snap, &zero_old, &cfg)?;
+                let dist = dms_mg(snap, &cfg, &cluster)?;
+                let (max_load, _) = placement_profile(snap, partitioner, PARTS, WORKERS)?;
                 let profile = profile_from_run(snap, &dist, max_load, WORKERS, PARTS);
                 let modeled = modeled_iter_time(serial_iter, &profile, &ctx.cost);
                 rows.push(vec![
@@ -158,5 +152,6 @@ fn main() {
             best_dms / best_dis
         );
     }
-    save_records("fig5", &records).expect("results saved");
+    save_records("fig5", &records)?;
+    Ok(())
 }

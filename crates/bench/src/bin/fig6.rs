@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 const WORKERS: usize = 15;
 const PARTS: [usize; 5] = [8, 15, 23, 30, 38];
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = ExperimentContext::from_env();
     let cfg = DecompConfig::default().with_max_iters(5);
     let mut records: Vec<ResultRecord> = Vec::new();
@@ -35,16 +35,12 @@ fn main() {
         ctx.scale
     );
     for spec in DatasetSpec::all(ctx.scale) {
-        let full = spec.generate().expect("dataset generates");
+        let full = spec.generate()?;
         // The 95% → 100% streaming step of Fig. 5 as the workload.
-        let stream = StreamSequence::cut(&full, &[0.95, 1.0]).expect("schedule");
-        let prev = dismastd_core::als::cp_als(stream.snapshot(0), &cfg).expect("priming ALS");
-        let complement = stream
-            .snapshot(1)
-            .complement(stream.snapshot(0).shape())
-            .expect("nested");
-        let (serial_iter, _) =
-            measure_serial_iter(&complement, prev.kruskal.factors(), &cfg).expect("serial DTD");
+        let stream = StreamSequence::cut(&full, &[0.95, 1.0])?;
+        let prev = dismastd_core::als::cp_als(stream.snapshot(0), &cfg)?;
+        let complement = stream.snapshot(1).complement(stream.snapshot(0).shape())?;
+        let (serial_iter, _) = measure_serial_iter(&complement, prev.kruskal.factors(), &cfg)?;
 
         println!("-- {} (complement nnz {}) --", spec.name, complement.nnz());
         let mut rows: Vec<Vec<String>> = Vec::new();
@@ -53,10 +49,8 @@ fn main() {
                 let cluster = ClusterConfig::new(WORKERS)
                     .with_partitioner(partitioner)
                     .with_parts_per_mode(vec![parts; full.order()]);
-                let dist = dismastd(&complement, prev.kruskal.factors(), &cfg, &cluster)
-                    .expect("distributed DTD");
-                let (max_load, _) =
-                    placement_profile(&complement, partitioner, parts, WORKERS).expect("placement");
+                let dist = dismastd(&complement, prev.kruskal.factors(), &cfg, &cluster)?;
+                let (max_load, _) = placement_profile(&complement, partitioner, parts, WORKERS)?;
                 let profile = profile_from_run(&complement, &dist, max_load, WORKERS, parts);
                 let modeled = modeled_iter_time(serial_iter, &profile, &ctx.cost);
                 let method = format!("DisMASTD-{}", partitioner.name());
@@ -99,11 +93,12 @@ fn main() {
             let best = records
                 .iter()
                 .filter(|r| r.dataset == spec.name && r.method == m)
-                .min_by(|a, b| a.value.partial_cmp(&b.value).expect("finite"))
-                .expect("has rows");
+                .min_by(|a, b| a.value.total_cmp(&b.value))
+                .ok_or("no rows recorded for method")?;
             println!("=> {m}: fastest at {} partitions/mode", best.x);
         }
         println!();
     }
-    save_records("fig6", &records).expect("results saved");
+    save_records("fig6", &records)?;
+    Ok(())
 }

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 
 const NODES: [usize; 5] = [3, 6, 9, 12, 15];
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = ExperimentContext::from_env();
     let cfg = DecompConfig::default().with_max_iters(5);
     let mut records: Vec<ResultRecord> = Vec::new();
@@ -32,15 +32,11 @@ fn main() {
         ctx.scale
     );
     for spec in DatasetSpec::all(ctx.scale) {
-        let full = spec.generate().expect("dataset generates");
-        let stream = StreamSequence::cut(&full, &[0.95, 1.0]).expect("schedule");
-        let prev = dismastd_core::als::cp_als(stream.snapshot(0), &cfg).expect("priming ALS");
-        let complement = stream
-            .snapshot(1)
-            .complement(stream.snapshot(0).shape())
-            .expect("nested");
-        let (serial_iter, _) =
-            measure_serial_iter(&complement, prev.kruskal.factors(), &cfg).expect("serial DTD");
+        let full = spec.generate()?;
+        let stream = StreamSequence::cut(&full, &[0.95, 1.0])?;
+        let prev = dismastd_core::als::cp_als(stream.snapshot(0), &cfg)?;
+        let complement = stream.snapshot(1).complement(stream.snapshot(0).shape())?;
+        let (serial_iter, _) = measure_serial_iter(&complement, prev.kruskal.factors(), &cfg)?;
 
         println!("-- {} (complement nnz {}) --", spec.name, complement.nnz());
         let mut rows: Vec<Vec<String>> = Vec::new();
@@ -50,10 +46,8 @@ fn main() {
                 let cluster = ClusterConfig::new(nodes)
                     .with_partitioner(partitioner)
                     .with_parts_per_mode(vec![nodes; full.order()]);
-                let dist = dismastd(&complement, prev.kruskal.factors(), &cfg, &cluster)
-                    .expect("distributed DTD");
-                let (max_load, _) =
-                    placement_profile(&complement, partitioner, nodes, nodes).expect("placement");
+                let dist = dismastd(&complement, prev.kruskal.factors(), &cfg, &cluster)?;
+                let (max_load, _) = placement_profile(&complement, partitioner, nodes, nodes)?;
                 let profile = profile_from_run(&complement, &dist, max_load, nodes, nodes);
                 let modeled = modeled_iter_time(serial_iter, &profile, &ctx.cost);
                 let method = format!("DisMASTD-{}", partitioner.name());
@@ -84,12 +78,12 @@ fn main() {
                 records
                     .iter()
                     .find(|r| r.dataset == spec.name && r.method == m && r.x == n)
-                    .expect("recorded")
-                    .value
+                    .map_or(f64::NAN, |r| r.value)
             };
             println!("=> {m}: speedup 3→15 nodes = {:.2}x", v(3.0) / v(15.0));
         }
         println!();
     }
-    save_records("fig7", &records).expect("results saved");
+    save_records("fig7", &records)?;
+    Ok(())
 }

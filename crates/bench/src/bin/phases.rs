@@ -32,18 +32,20 @@ const PHASES: [&str; 10] = [
 
 /// Runs one two-snapshot stream (cold start + incremental step) and returns
 /// the incremental step's report, with metrics collected.
-fn run_step(spec: &DatasetSpec, cfg: &DecompConfig, mode: ExecutionMode) -> StepReport {
-    let full = spec.generate().expect("dataset generates");
-    let stream = StreamSequence::cut(&full, &[0.9, 1.0]).expect("schedule");
+fn run_step(
+    spec: &DatasetSpec,
+    cfg: &DecompConfig,
+    mode: ExecutionMode,
+) -> Result<StepReport, Box<dyn std::error::Error>> {
+    let full = spec.generate()?;
+    let stream = StreamSequence::cut(&full, &[0.9, 1.0])?;
     let mut session = StreamingSession::new(*cfg, mode);
     session.set_collect_metrics(true);
-    session.ingest(stream.snapshot(0)).expect("cold start");
-    session
-        .ingest(stream.snapshot(1))
-        .expect("incremental step")
+    session.ingest(stream.snapshot(0))?;
+    Ok(session.ingest(stream.snapshot(1))?)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = ExperimentContext::from_env();
     let cfg = DecompConfig::default().with_max_iters(5);
     let spec = DatasetSpec::synthetic(ctx.scale);
@@ -71,8 +73,11 @@ fn main() {
             ExecutionMode::Serial => 1.0,
             ExecutionMode::Distributed(c) => c.workers as f64,
         };
-        let report = run_step(&spec, &cfg, mode);
-        let metrics = report.metrics.as_ref().expect("metrics were collected");
+        let report = run_step(&spec, &cfg, mode)?;
+        let metrics = report
+            .metrics
+            .as_ref()
+            .ok_or("metrics were not collected")?;
         let elapsed_ns = report.elapsed.as_nanos() as f64;
 
         // In distributed mode the merged snapshot holds every rank's spans,
@@ -109,5 +114,6 @@ fn main() {
     }
     print_table(&headers, &rows);
     println!("\n(fractions of total phase time; distributed rows sum every rank's spans)");
-    save_records("phases", &records).expect("results saved");
+    save_records("phases", &records)?;
+    Ok(())
 }

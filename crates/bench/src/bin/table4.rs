@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 const PARTS: [usize; 5] = [8, 15, 23, 30, 38];
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = ExperimentContext::from_env();
     let mut records: Vec<ResultRecord> = Vec::new();
 
@@ -30,7 +30,7 @@ fn main() {
     );
     let mut rows: Vec<Vec<String>> = Vec::new();
     for spec in DatasetSpec::all(ctx.scale) {
-        let t = spec.generate().expect("dataset generates");
+        let t = spec.generate()?;
         for (name, algo) in [
             (
                 "GTP",
@@ -47,7 +47,7 @@ fn main() {
                 // partitioners run per mode, Algorithms 2-3).
                 let mut cv_sum = 0.0;
                 for mode in 0..t.order() {
-                    let hist = t.slice_nnz(mode).expect("valid mode");
+                    let hist = t.slice_nnz(mode)?;
                     let stats = algo(&hist, p).balance(&hist);
                     cv_sum += stats.cv;
                 }
@@ -73,21 +73,18 @@ fn main() {
         let ratio: f64 = PARTS
             .iter()
             .map(|&p| {
-                let g = records
-                    .iter()
-                    .find(|r| r.dataset == dataset && r.method == "GTP" && r.x == p as f64)
-                    .expect("recorded")
-                    .value;
-                let m = records
-                    .iter()
-                    .find(|r| r.dataset == dataset && r.method == "MTP" && r.x == p as f64)
-                    .expect("recorded")
-                    .value;
-                g / m.max(1e-12)
+                let at = |method: &str| {
+                    records
+                        .iter()
+                        .find(|r| r.dataset == dataset && r.method == method && r.x == p as f64)
+                        .map_or(f64::NAN, |r| r.value)
+                };
+                at("GTP") / at("MTP").max(1e-12)
             })
             .sum::<f64>()
             / PARTS.len() as f64;
         println!("=> {dataset}: GTP std-dev is on average {ratio:.1}x MTP's (skewed data)");
     }
-    save_records("table4", &records).expect("results saved");
+    save_records("table4", &records)?;
+    Ok(())
 }

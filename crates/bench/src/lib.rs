@@ -191,7 +191,7 @@ pub fn save_records(name: &str, records: &[ResultRecord]) -> std::io::Result<()>
     let path = format!("bench_results/{name}.jsonl");
     let mut body = String::new();
     for r in records {
-        body.push_str(&serde_json::to_string(r).expect("records serialise"));
+        body.push_str(&serde_json::to_string(r).map_err(std::io::Error::other)?);
         body.push('\n');
     }
     std::fs::write(&path, body)?;

@@ -79,11 +79,13 @@ impl Payload {
     /// runtime condition.  Fault-tolerant code paths use
     /// [`Payload::try_into_f64`] instead.
     pub fn into_f64(self) -> Vec<f64> {
+        // lint:allow(panic_path): documented contract — protocol-bug panic; fallible callers use try_into_f64
         self.try_into_f64().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Unwraps a `U64` payload (panics on type mismatch, as above).
     pub fn into_u64(self) -> Vec<u64> {
+        // lint:allow(panic_path): documented contract — protocol-bug panic; fallible callers use try_into_u64
         self.try_into_u64().unwrap_or_else(|e| panic!("{e}"))
     }
 }
@@ -407,6 +409,7 @@ impl CommStatsSnapshot {
         if mean == 0.0 {
             return 0.0;
         }
+        // lint:allow(panic_path): invariant — emptiness was handled above
         *self.bytes_by_sender.iter().max().expect("non-empty") as f64 / mean
     }
 }

@@ -40,6 +40,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+// lint:allow(determinism): Instant backs the receive-deadline backstop only; it never feeds factor math
 use std::time::{Duration, Instant};
 
 /// Tags below this are reserved for internally sequenced collectives;
@@ -49,6 +50,31 @@ const USER_TAG_BASE: u64 = 1 << 63;
 /// Reserved control tag carrying an encoded [`ClusterError`] from a
 /// failing worker to its peers.
 const ABORT_TAG: u64 = u64::MAX;
+
+/// Perturbation point ids for [`loom_pause`], one per coordination edge
+/// whose ordering the barrier-abort protocol must tolerate.
+mod pause_point {
+    /// Entry into a blocking receive (barrier token or data wait).
+    pub const RECV: u32 = 1;
+    /// Just before a control-plane token send (barrier arrive/release).
+    pub const CONTROL_SEND: u32 = 2;
+    /// Just before the abort fan-out to peers.
+    pub const ABORT_FANOUT: u32 = 3;
+    /// An injected crash firing at a collective entry.
+    pub const CRASH: u32 = 4;
+}
+
+/// Schedule-perturbation hook for the loom audit (`dismastd-xtask audit`
+/// runs the model with `RUSTFLAGS="--cfg loom"`).  Under `--cfg loom`
+/// each call consults the model's seeded schedule and may yield or
+/// micro-sleep, reordering token sends, abort fan-outs, and blocking
+/// receives against each other; in ordinary builds it compiles to
+/// nothing.
+#[inline]
+fn loom_pause(_point: u32) {
+    #[cfg(loom)]
+    loom::explore::pause(_point);
+}
 
 struct Msg {
     src: usize,
@@ -187,17 +213,16 @@ impl Cluster {
         // One inbound channel per worker; every worker holds all senders
         // (including its own, so its receiver can never disconnect).
         let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(world);
-        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(world);
+        let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(world);
         for _ in 0..world {
             let (tx, rx) = unbounded();
             senders.push(tx);
-            receivers.push(Some(rx));
+            receivers.push(rx);
         }
 
         let results: Vec<ClusterResult<T>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(world);
-            for (rank, slot) in receivers.iter_mut().enumerate() {
-                let receiver = slot.take().expect("receiver taken once");
+            for (rank, receiver) in receivers.drain(..).enumerate() {
                 let senders = senders.clone();
                 let stats = Arc::clone(&stats);
                 let plan = opts.fault_plan.clone();
@@ -511,6 +536,7 @@ impl WorkerCtx {
     /// injection, failures ignored — a dead peer is discovered via its
     /// abort message, not via our send.
     fn send_control(&mut self, dst: usize, tag: u64) {
+        loom_pause(pause_point::CONTROL_SEND);
         let id = self.fresh_msg_id();
         let _ = self.senders[dst].send(Msg {
             src: self.rank,
@@ -523,6 +549,7 @@ impl WorkerCtx {
     /// Fans the failure out to every peer and poisons this context.
     /// Idempotent by construction: callers check `abort` first.
     fn abort_peers(&mut self, err: ClusterError) {
+        loom_pause(pause_point::ABORT_FANOUT);
         for dst in 0..self.world {
             if dst == self.rank {
                 continue;
@@ -547,6 +574,7 @@ impl WorkerCtx {
         tag: u64,
         timeout: Option<Duration>,
     ) -> ClusterResult<Payload> {
+        loom_pause(pause_point::RECV);
         if let Some(err) = &self.abort {
             return Err(err.clone());
         }
@@ -556,8 +584,11 @@ impl WorkerCtx {
             .iter()
             .position(|m| m.src == src && m.tag == tag)
         {
-            return Ok(self.pending.remove(pos).expect("position valid").payload);
+            if let Some(msg) = self.pending.remove(pos) {
+                return Ok(msg.payload);
+            }
         }
+        // lint:allow(determinism): deadline bookkeeping for the timeout backstop
         let started = Instant::now();
         let deadline = timeout.map(|t| started + t);
         loop {
@@ -574,6 +605,7 @@ impl WorkerCtx {
                     }
                 },
                 Some(d) => {
+                    // lint:allow(determinism): deadline bookkeeping for the timeout backstop
                     let remaining = d.saturating_duration_since(Instant::now());
                     match self.receiver.recv_timeout(remaining) {
                         Ok(m) => m,
@@ -627,6 +659,7 @@ impl WorkerCtx {
         }
         if let Some(plan) = &self.plan {
             if plan.take_crash(self.rank, self.seq) {
+                loom_pause(pause_point::CRASH);
                 return Err(ClusterError::PeerCrashed {
                     rank: self.rank,
                     cause: format!("fault injection: crash at collective {}", self.seq),
@@ -758,6 +791,7 @@ impl WorkerCtx {
             self.stats.record_collective();
         }
         if self.rank == root {
+            // lint:allow(panic_path): documented contract — root/payload misuse is a caller bug
             let payload = payload.expect("root must supply the broadcast payload");
             for dst in 0..self.world {
                 if dst != root {
@@ -849,6 +883,7 @@ impl WorkerCtx {
         let root = 0usize;
         let gathered = self.try_gather(root, Payload::F64(buf.to_vec()))?;
         if self.rank == root {
+            // lint:allow(panic_path): invariant — try_gather returns Some on the root
             let all = gathered.expect("root gathers");
             // Validate every contribution before reducing; a mismatch is
             // fanned out so all ranks fail with the same typed error.
@@ -932,6 +967,7 @@ impl WorkerCtx {
         let gathered = self.try_gather(0, Payload::F64(vec![x]))?;
         if self.rank == 0 {
             let mut m = f64::NEG_INFINITY;
+            // lint:allow(panic_path): invariant — try_gather returns Some on the root
             for p in gathered.expect("root gathers") {
                 let v = match p.try_into_f64() {
                     Ok(v) => v,

@@ -42,8 +42,9 @@ use dismastd_tensor::{
     SparseTensorBuilder, TensorError,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
+// lint:allow(determinism): Instant feeds wall-clock fields of StepReport only, never factor math
 use std::time::{Duration, Instant};
 
 /// Cluster-side configuration: worker count and partitioning strategy.
@@ -169,7 +170,7 @@ impl DistOutput {
 /// present, so its size is bounded by the live cell count.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    entries: HashMap<u64, Arc<MttkrpPlan>>,
+    entries: BTreeMap<u64, Arc<MttkrpPlan>>,
     hits: u64,
     misses: u64,
 }
@@ -215,7 +216,7 @@ impl PlanCache {
 
     /// Evicts every entry whose key is not in `live`.
     fn retain_live(&mut self, live: &[u64]) {
-        let live: std::collections::HashSet<u64> = live.iter().copied().collect();
+        let live: std::collections::BTreeSet<u64> = live.iter().copied().collect();
         self.entries.retain(|k, _| live.contains(k));
     }
 }
@@ -363,6 +364,7 @@ fn run_distributed(
             "cluster needs at least one worker".into(),
         ));
     }
+    // lint:allow(determinism): elapsed-time reporting only
     let start = Instant::now();
     let order = tensor.order();
     let world = cluster.workers;
@@ -627,6 +629,7 @@ fn worker_body(
 
     let mut loss_trace: Vec<f64> = Vec::with_capacity(cfg.max_iters);
     let mut iterations = 0;
+    // lint:allow(determinism): elapsed-time reporting only
     let iter_start = Instant::now();
     let mut hat = vec![Matrix::zeros(0, 0); order];
     for n in 0..order {

@@ -63,6 +63,7 @@ impl OnlineCp {
         }
         let batch = crate::als::cp_als(x0, cfg)?;
         let mut all = batch.kruskal.into_factors();
+        // lint:allow(panic_path): invariant — order >= 2 was validated above
         let temporal = all.pop().expect("order >= 2");
         let factors = all;
         let n_non_temporal = factors.len();

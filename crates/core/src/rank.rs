@@ -58,6 +58,7 @@ pub fn select_rank(
         let out = cp_als(x, &cfg.with_rank(r))?;
         evaluated.push((r, out.kruskal.fit(x)?));
     }
+    // lint:allow(panic_path): invariant — emptiness was rejected above
     let mut selected = *candidates.last().expect("non-empty");
     for w in evaluated.windows(2) {
         let (r0, f0) = w[0];

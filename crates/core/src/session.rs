@@ -29,6 +29,7 @@ use dismastd_tensor::{
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
+// lint:allow(determinism): Instant feeds StepReport wall-clock fields only, never factor math
 use std::time::{Duration, Instant};
 
 /// Where the per-snapshot decomposition executes.
@@ -433,6 +434,7 @@ impl StreamingSession {
     /// restart budget is exhausted; propagates solver errors.  On error the
     /// session state is untouched and stays usable.
     pub fn ingest(&mut self, snapshot: &SparseTensor) -> Result<StepReport> {
+        // lint:allow(determinism): elapsed-time reporting only
         let started = Instant::now();
         // Installing the registry here makes every span/counter below — and
         // in the serial solver, which runs on this thread — land in this
@@ -596,6 +598,7 @@ impl StreamingSession {
         cfg: &DecompConfig,
         cold_start: bool,
     ) -> Result<AttemptOutcome> {
+        // lint:allow(determinism): elapsed-time reporting only
         let attempt_start = Instant::now();
         if cold_start {
             match &self.mode {

@@ -39,6 +39,8 @@
 //! serialized snapshot; durations are recorded as elapsed nanoseconds at
 //! span drop.
 
+pub mod taxonomy;
+
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -1,0 +1,141 @@
+//! The registered metric taxonomy.
+//!
+//! Every span, counter, gauge, and histogram name used by the DisMASTD
+//! crates must be listed here.  The registry serves two purposes:
+//!
+//! 1. **Static analysis** — `dismastd-xtask`'s L3 lint resolves every
+//!    string literal passed to [`span`](crate::span) /
+//!    [`counter_add`](crate::counter_add) / … against this table, so a
+//!    typo'd label (`"phase/solv"`) is a build-gate failure instead of a
+//!    silently missing metric.
+//! 2. **Documentation** — the table is the single place that says which
+//!    instrument families exist and what their prefixes mean.
+//!
+//! Families:
+//! - `kernel/*` — per-kernel hot-loop spans (labelled by mode where
+//!   applicable).
+//! - `phase/*`  — algorithm phases of DTD / distributed ALS / the
+//!   streaming session.
+//! - `comm/*`   — collective-communication spans and wire-size
+//!   histograms.
+//! - `plan/*`, `watchdog/*`, `ingest/*`, `solve/*` — event counters for
+//!   plan caching, divergence restarts, quarantined ingest, and the
+//!   solve-tier escalation ladder.
+//!
+//! Adding a metric means adding its name to the matching table below in
+//! the same change that introduces the call site; the L3 lint fails
+//! otherwise.
+
+/// Registered span names (scoped timers).
+pub const SPANS: &[&str] = &[
+    // comm family: one span per collective primitive.
+    "comm/allreduce",
+    "comm/barrier",
+    "comm/broadcast",
+    "comm/exchange",
+    "comm/gather",
+    // kernel family: MTTKRP kernels and plan construction.
+    "kernel/mttkrp_naive",
+    "kernel/mttkrp_plan",
+    "kernel/plan_build",
+    // phase family: DTD / distributed ALS / session phases.
+    "phase/complement",
+    "phase/exchange",
+    "phase/gather",
+    "phase/gram",
+    "phase/loss",
+    "phase/mttkrp",
+    "phase/partition",
+    "phase/plan_build",
+    "phase/setup",
+    "phase/solve",
+    "phase/validate",
+];
+
+/// Registered counter names (monotone event tallies).
+pub const COUNTERS: &[&str] = &[
+    "ingest/quarantined",
+    "plan/cache_hit",
+    "plan/rebuild",
+    "solve/tier",
+    "watchdog/restart",
+];
+
+/// Registered gauge names (point-in-time values).  None are currently
+/// emitted by the production crates; the table exists so the L3 lint has
+/// a resolution target the moment one is added.
+pub const GAUGES: &[&str] = &[];
+
+/// Registered histogram names (log₂-bucketed distributions).
+pub const HISTOGRAMS: &[&str] = &["comm/msg_bytes"];
+
+/// Instrument kind, used to select the table a name must resolve in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrumentKind {
+    Span,
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl InstrumentKind {
+    /// The registry table for this instrument kind.
+    pub fn table(self) -> &'static [&'static str] {
+        match self {
+            InstrumentKind::Span => SPANS,
+            InstrumentKind::Counter => COUNTERS,
+            InstrumentKind::Gauge => GAUGES,
+            InstrumentKind::Histogram => HISTOGRAMS,
+        }
+    }
+}
+
+/// True when `name` is a registered instrument of the given kind.
+pub fn is_registered(kind: InstrumentKind, name: &str) -> bool {
+    kind.table().contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_sorted_within_family_and_duplicate_free() {
+        for table in [SPANS, COUNTERS, GAUGES, HISTOGRAMS] {
+            let mut seen = std::collections::BTreeSet::new();
+            for name in table {
+                assert!(seen.insert(*name), "duplicate taxonomy entry {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_name_carries_a_known_family_prefix() {
+        const FAMILIES: &[&str] = &[
+            "kernel/",
+            "phase/",
+            "comm/",
+            "plan/",
+            "watchdog/",
+            "ingest/",
+            "solve/",
+        ];
+        for table in [SPANS, COUNTERS, GAUGES, HISTOGRAMS] {
+            for name in table {
+                assert!(
+                    FAMILIES.iter().any(|f| name.starts_with(f)),
+                    "taxonomy entry {name} lacks a registered family prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_matches_tables() {
+        assert!(is_registered(InstrumentKind::Span, "phase/mttkrp"));
+        assert!(is_registered(InstrumentKind::Counter, "solve/tier"));
+        assert!(is_registered(InstrumentKind::Histogram, "comm/msg_bytes"));
+        assert!(!is_registered(InstrumentKind::Span, "phase/solv"));
+        assert!(!is_registered(InstrumentKind::Counter, "phase/mttkrp"));
+    }
+}

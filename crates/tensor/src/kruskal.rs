@@ -74,6 +74,7 @@ impl KruskalTensor {
     pub fn norm_sq(&self) -> f64 {
         let grams: Vec<Matrix> = self.factors.iter().map(Matrix::gram).collect();
         let refs: Vec<&Matrix> = grams.iter().collect();
+        // lint:allow(panic_path): invariant — every gram is R×R by construction
         grand_sum_hadamard(&refs).expect("grams share the RxR shape")
     }
 

@@ -1,0 +1,572 @@
+//! A small Rust lexer + structural pass, purpose-built for the lint
+//! engine.
+//!
+//! The build environment vendors every dependency, so `syn` is not
+//! available; instead this module tokenizes Rust source precisely enough
+//! for the project lints: comments (line, doc, nested block) are
+//! separated from code, string/char/lifetime ambiguities are resolved,
+//! and a structural pass over the token stream marks the line ranges
+//! belonging to `#[cfg(test)]` / `#[test]` items so lints only fire on
+//! production code.
+//!
+//! This supersedes the old `sed '/#\[cfg(test)\]/q'` gate, which stopped
+//! at the *first* test module and left any code after it unaudited; the
+//! structural pass here tracks every test item individually, wherever it
+//! sits in the file.
+
+/// Kinds the lints care about; everything else is `Punct`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`); the
+    /// token's `text` holds the *inner* (raw, unescaped) contents.
+    Str,
+    /// Numeric or char literal.
+    Literal,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// One lexed token with its source position (1-based line/column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment (line or block), carrying the line it *starts* on; used
+/// for `lint:allow(...)` escape-hatch directives.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexed file: code tokens, comments, and (after
+/// [`mark_test_regions`]) the set of lines that belong to test items.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// `test_lines[i]` is true when 1-based line `i + 1` is inside a
+    /// `#[cfg(test)]` / `#[test]` item (attribute line included).
+    pub test_lines: Vec<bool>,
+}
+
+impl LexedFile {
+    /// Whether the token at `idx` sits inside a test item.
+    pub fn in_test_code(&self, token: &Token) -> bool {
+        self.test_lines
+            .get(token.line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Lexes `src` and marks test regions.  Never fails: unterminated
+/// constructs consume to end-of-file, which is the useful behaviour for
+/// a linter (rustc rejects such files anyway).
+pub fn lex(src: &str) -> LexedFile {
+    let mut lx = Lexer::new(src);
+    lx.run();
+    let line_count = src.lines().count().max(1);
+    let mut file = LexedFile {
+        tokens: lx.tokens,
+        comments: lx.comments,
+        test_lines: vec![false; line_count],
+    };
+    mark_test_regions(&mut file);
+    file
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, col, 0),
+                'r' | 'b' | 'c' if self.string_prefix().is_some() => {
+                    // r"…", r#"…"#, b"…", br#"…"#, c"…" — consume the
+                    // prefix then the (possibly raw) string body.
+                    let (prefix_len, hashes) = self.string_prefix().expect("checked");
+                    if hashes == usize::MAX {
+                        // Not actually a string start (e.g. ident `r` or
+                        // `b` followed by something else) — fall through.
+                        self.ident(line, col);
+                    } else {
+                        for _ in 0..prefix_len {
+                            self.bump();
+                        }
+                        self.string(line, col, hashes);
+                    }
+                }
+                '\'' => self.lifetime_or_char(line, col),
+                c if c.is_alphabetic() || c == '_' => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), c.to_string(), line, col);
+                }
+            }
+        }
+    }
+
+    /// When positioned on `r`/`b`/`c`, decides whether a string literal
+    /// starts here.  Returns `(chars_before_quote, raw_hash_count)`;
+    /// `usize::MAX` hashes means "not a string".
+    fn string_prefix(&self) -> Option<(usize, usize)> {
+        let mut i = 0;
+        // Optional byte/C prefix, optional raw marker, in either order
+        // rustc accepts: b, r, br, rb(c not legal but harmless), c, cr.
+        let mut saw_r = false;
+        for _ in 0..2 {
+            match self.peek(i) {
+                Some('r') if !saw_r => {
+                    saw_r = true;
+                    i += 1;
+                }
+                Some('b') | Some('c') if i == 0 => {
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
+        if i == 0 {
+            return None;
+        }
+        let mut hashes = 0;
+        if saw_r {
+            while self.peek(i + hashes) == Some('#') {
+                hashes += 1;
+            }
+        }
+        if self.peek(i + hashes) == Some('"') {
+            Some((i + hashes, if saw_r { hashes } else { 0 }))
+        } else {
+            Some((0, usize::MAX))
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.comments.push(Comment { text, line });
+    }
+
+    /// Consumes a string body starting at the opening quote; `hashes` is
+    /// the raw-string hash count (0 = escaped string).
+    fn string(&mut self, line: u32, col: u32, hashes: usize) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if hashes == 0 && c == '\\' {
+                // Escaped string: skip the escape pair verbatim.
+                text.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                continue;
+            }
+            if c == '"' {
+                let mut matched = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        // `'a` (lifetime) vs `'a'` (char) vs `'\n'` (escaped char).
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && after != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line, col);
+        } else {
+            // Char literal: consume to the closing quote, honouring
+            // escapes.
+            self.bump();
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    text.push(c);
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                    continue;
+                }
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            self.push(TokenKind::Literal, text, line, col);
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        // Raw identifier r#ident.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // Fractional part — but never swallow `..` ranges.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, text, line, col);
+    }
+}
+
+/// Marks the line ranges of `#[cfg(test)]` / `#[test]` items in
+/// `file.test_lines`.
+///
+/// An attribute is a test marker when it is `#[test]` or a `#[cfg(...)]`
+/// whose predicate mentions `test` outside a `not(...)`
+/// (`#[cfg_attr(test, ...)]` is *not* a marker: the item itself always
+/// compiles).  The marked region runs from the attribute to the end of
+/// the annotated item — its balanced `{ … }` block, or the terminating
+/// `;` for block-less items.
+fn mark_test_regions(file: &mut LexedFile) {
+    let toks = &file.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Punct('#')
+            && toks.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('['))
+        {
+            let attr_start_line = toks[i].line;
+            // Find the matching `]`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let attr_tokens = &toks[i + 2..j.min(toks.len())];
+            if is_test_marker(attr_tokens) {
+                // Skip any further stacked attributes, then mark the item.
+                let mut k = j + 1;
+                while k < toks.len()
+                    && toks[k].kind == TokenKind::Punct('#')
+                    && toks.get(k + 1).map(|t| t.kind) == Some(TokenKind::Punct('['))
+                {
+                    let mut d = 0usize;
+                    while k < toks.len() {
+                        match toks[k].kind {
+                            TokenKind::Punct('[') => d += 1,
+                            TokenKind::Punct(']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // Scan to the item body: the first `{` opens it; a `;`
+                // first means a block-less item.
+                let mut end_line = attr_start_line;
+                while k < toks.len() {
+                    match toks[k].kind {
+                        TokenKind::Punct(';') => {
+                            end_line = toks[k].line;
+                            break;
+                        }
+                        TokenKind::Punct('{') => {
+                            let mut d = 0usize;
+                            while k < toks.len() {
+                                match toks[k].kind {
+                                    TokenKind::Punct('{') => d += 1,
+                                    TokenKind::Punct('}') => {
+                                        d -= 1;
+                                        if d == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            end_line = toks.get(k).map(|t| t.line).unwrap_or(end_line);
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                for line in attr_start_line..=end_line {
+                    if let Some(slot) = file.test_lines.get_mut(line as usize - 1) {
+                        *slot = true;
+                    }
+                }
+                i = j + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Decides whether attribute contents (tokens between `#[` and `]`) mark
+/// test-only code.
+fn is_test_marker(attr: &[Token]) -> bool {
+    let first = match attr.first() {
+        Some(t) if t.kind == TokenKind::Ident => t.text.as_str(),
+        _ => return false,
+    };
+    if first == "test" && attr.len() == 1 {
+        return true;
+    }
+    if first != "cfg" {
+        return false;
+    }
+    // Inside cfg(...): `test` counts unless it appears under not(...).
+    let mut not_depth: isize = -1; // paren depth at which a not(...) opened
+    let mut depth: isize = 0;
+    for (idx, t) in attr.iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if not_depth >= 0 && depth <= not_depth {
+                    not_depth = -1;
+                }
+            }
+            TokenKind::Ident
+                if t.text == "not"
+                    && attr.get(idx + 1).map(|n| n.kind) == Some(TokenKind::Punct('(')) =>
+            {
+                not_depth = depth;
+            }
+            TokenKind::Ident if t.text == "test" && not_depth < 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_produce_code_tokens() {
+        let f = lex(r##"
+// a comment with .unwrap()
+/* block .expect( */
+let s = "str with .unwrap()";
+let r = r#"raw "q" with .expect("#;
+"##);
+        assert!(f
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "expect"));
+        assert_eq!(f.comments.len(), 2);
+        assert!(f.tokens.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let f = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "x"));
+    }
+
+    #[test]
+    fn every_test_module_is_marked_not_just_the_first() {
+        let src = "\
+fn prod1() { }
+#[cfg(test)]
+mod t1 { fn a() {} }
+fn prod2() { }
+#[cfg(test)]
+mod t2 { fn b() {} }
+fn prod3() { }
+";
+        let f = lex(src);
+        let marked: Vec<usize> = f
+            .test_lines
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(marked, vec![2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn cfg_not_test_and_cfg_attr_are_not_test_markers() {
+        let src = "\
+#[cfg(not(test))]
+fn prod() { }
+#[cfg_attr(test, allow(dead_code))]
+fn also_prod() { }
+#[cfg(any(test, feature = \"x\"))]
+fn testish() { }
+";
+        let f = lex(src);
+        assert!(!f.test_lines[0] && !f.test_lines[1], "cfg(not(test))");
+        assert!(!f.test_lines[2] && !f.test_lines[3], "cfg_attr");
+        assert!(f.test_lines[4] && f.test_lines[5], "cfg(any(test, ..))");
+    }
+}

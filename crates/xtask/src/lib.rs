@@ -1,0 +1,27 @@
+//! # dismastd-xtask
+//!
+//! The workspace's static-analysis and audit driver:
+//!
+//! ```text
+//! cargo run -p dismastd-xtask -- lint    # L1–L4 invariant lints
+//! cargo run -p dismastd-xtask -- audit   # loom barrier model + TSan chaos run
+//! ```
+//!
+//! The lints replace the old `sed`/`grep` gates in `scripts/check.sh`
+//! with a token-level parse of every production crate:
+//!
+//! | lint | name            | invariant |
+//! |------|-----------------|-----------|
+//! | L1   | `panic_path`    | no `unwrap`/`expect`/panic-macros/panicking payload converters in production code |
+//! | L2   | `determinism`   | no hash containers, wall clocks, or OS-seeded RNG in the bit-identical crates |
+//! | L3   | `span_taxonomy` | every obs label resolves in `dismastd_obs::taxonomy` |
+//! | L4   | `error_hygiene` | public fallible APIs return typed errors, not `Box<dyn Error>` |
+//!
+//! Escape hatch: `// lint:allow(<name>): <reason>` on the violating
+//! line or the line directly above.
+
+pub mod lexer;
+pub mod lints;
+pub mod workspace;
+
+pub use lints::{lint_source, Diagnostic, LintId, LintScope};

@@ -1,0 +1,29 @@
+//! Clean fixture: no lint fires even under the full scope.
+
+use std::collections::BTreeMap;
+
+/// Per-key occurrence counts, deterministically ordered.
+pub fn histogram(keys: &[u32]) -> BTreeMap<u32, u64> {
+    let mut out = BTreeMap::new();
+    for &k in keys {
+        *out.entry(k).or_insert(0) += 1;
+    }
+    out
+}
+
+/// A typed fallible API: no `Box<dyn Error>`, no panics.
+pub fn checked_div(a: u64, b: u64) -> Result<u64, String> {
+    if b == 0 {
+        return Err("division by zero".into());
+    }
+    Ok(a / b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counts() {
+        assert_eq!(super::histogram(&[1, 1, 2]).len(), 2);
+        assert_eq!(super::checked_div(6, 3).unwrap(), 2);
+    }
+}

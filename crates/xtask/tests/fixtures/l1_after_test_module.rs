@@ -1,0 +1,23 @@
+//! Regression fixture for the `sed '/#\[cfg(test)\]/q'` blind spot.
+//!
+//! The grep audit this tool replaced truncated every file at its first
+//! inline `#[cfg(test)]` marker, so production code declared *after* a
+//! test module was never audited.  The lexer marks only the balanced
+//! braces of the test item itself, so `after_the_test_module` below is
+//! in scope and must be flagged.
+
+pub fn before(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inside_tests_is_exempt() {
+        assert_eq!(Some(1u32).unwrap(), 1);
+    }
+}
+
+pub fn after_the_test_module(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,25 @@
+//! L1 fixture: panic paths in non-test code must be flagged.
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn second(r: Result<u32, ()>) -> u32 {
+    r.expect("boom")
+}
+
+pub fn third() {
+    panic!("nope");
+}
+
+pub fn allowed(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic_path): fixture — deliberately acknowledged
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(Some(1u32).unwrap(), 1);
+    }
+}

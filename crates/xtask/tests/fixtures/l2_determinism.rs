@@ -1,0 +1,15 @@
+//! L2 fixture: nondeterminism sources in bit-reproducible crates.
+
+use std::collections::HashMap;
+
+pub fn deterministic() -> u64 {
+    42
+}
+
+pub fn now_millis() -> u128 {
+    let clock = std::time::SystemTime::now();
+    clock
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

@@ -1,0 +1,12 @@
+//! L4 fixture: `Box<dyn Error>` must not leak from typed public APIs.
+
+use std::error::Error;
+
+pub fn leaky() -> Result<(), Box<dyn Error>> {
+    Ok(())
+}
+
+pub fn unrelated_trait_object(p: Box<dyn std::any::Any + Send>) -> usize {
+    let _ = p;
+    0
+}

@@ -1,0 +1,154 @@
+//! Fixture-driven tests for the invariant lints.
+//!
+//! Each file under `tests/fixtures/` trips exactly one lint at known
+//! lines (or none, for `clean.rs`); the assertions pin the `file:line`
+//! diagnostics so a lint regression shows up as a test diff, not as a
+//! silently narrower audit.  The final test lints the real workspace —
+//! the tool's own dogfood gate.
+
+use dismastd_xtask::{lint_source, LintId, LintScope};
+use std::path::{Path, PathBuf};
+
+fn fixture_diags(name: &str) -> Vec<dismastd_xtask::Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    lint_source(&PathBuf::from(name), &src, LintScope::ALL)
+}
+
+/// Asserts the diagnostics are exactly `(lint, line)` in order, and that
+/// each renders with the `file:line:` prefix the CI log promises.
+fn assert_exact(name: &str, expected: &[(LintId, u32)]) {
+    let diags = fixture_diags(name);
+    let got: Vec<(LintId, u32)> = diags.iter().map(|d| (d.lint, d.line)).collect();
+    assert_eq!(
+        got,
+        expected,
+        "{name} diagnostics:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    for d in &diags {
+        let rendered = d.to_string();
+        assert!(
+            rendered.starts_with(&format!("{name}:{}:", d.line)),
+            "diagnostic must lead with file:line, got {rendered}"
+        );
+        assert!(
+            rendered.contains(&format!("{}({})", d.lint.code(), d.lint.name())),
+            "diagnostic must name its lint, got {rendered}"
+        );
+    }
+}
+
+#[test]
+fn l1_flags_unwrap_expect_and_panic_but_honours_allow_and_tests() {
+    assert_exact(
+        "l1_panic.rs",
+        &[
+            (LintId::PanicPath, 4),
+            (LintId::PanicPath, 8),
+            (LintId::PanicPath, 12),
+        ],
+    );
+}
+
+#[test]
+fn l1_still_audits_code_after_an_inline_test_module() {
+    // The sed-based audit stopped at the first `#[cfg(test)]`; both the
+    // function before it and the one after must be flagged.
+    assert_exact(
+        "l1_after_test_module.rs",
+        &[(LintId::PanicPath, 10), (LintId::PanicPath, 22)],
+    );
+}
+
+#[test]
+fn l2_flags_hash_containers_and_wall_clocks() {
+    assert_exact(
+        "l2_determinism.rs",
+        &[(LintId::Determinism, 3), (LintId::Determinism, 10)],
+    );
+}
+
+#[test]
+fn l3_flags_unregistered_labels_with_a_suggestion() {
+    assert_exact(
+        "l3_taxonomy.rs",
+        &[(LintId::SpanTaxonomy, 8), (LintId::SpanTaxonomy, 12)],
+    );
+    let diags = fixture_diags("l3_taxonomy.rs");
+    assert!(
+        diags[0].message.contains("phase/mttkrp"),
+        "near-miss should suggest the registered label: {}",
+        diags[0].message
+    );
+    assert!(
+        diags[1].message.contains("plan/cache_hit"),
+        "near-miss should suggest the registered label: {}",
+        diags[1].message
+    );
+}
+
+#[test]
+fn l4_flags_leaked_box_dyn_error_only() {
+    assert_exact("l4_boxdyn.rs", &[(LintId::ErrorHygiene, 5)]);
+}
+
+#[test]
+fn clean_fixture_is_clean_under_the_full_scope() {
+    assert_exact("clean.rs", &[]);
+}
+
+#[test]
+fn cli_exits_nonzero_on_violations_and_zero_on_clean_input() {
+    let exe = env!("CARGO_BIN_EXE_dismastd-xtask");
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+
+    let bad = std::process::Command::new(exe)
+        .args(["lint", "--files"])
+        .arg(fixtures.join("l1_panic.rs"))
+        .output()
+        .expect("xtask runs");
+    assert!(!bad.status.success(), "violations must fail the build");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(
+        stdout.contains("l1_panic.rs:4:") && stdout.contains("L1(panic_path)"),
+        "diagnostics must carry file:line, got:\n{stdout}"
+    );
+
+    let clean = std::process::Command::new(exe)
+        .args(["lint", "--files"])
+        .arg(fixtures.join("clean.rs"))
+        .output()
+        .expect("xtask runs");
+    assert!(
+        clean.status.success(),
+        "clean input must exit 0, stderr:\n{}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+}
+
+#[test]
+fn the_workspace_itself_lints_clean() {
+    let root = dismastd_xtask::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let (diags, files) = dismastd_xtask::workspace::lint_workspace(&root).expect("walk succeeds");
+    assert!(
+        files >= 40,
+        "expected to scan the whole workspace, saw {files} files"
+    );
+    assert!(
+        diags.is_empty(),
+        "the workspace must lint clean:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

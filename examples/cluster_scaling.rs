@@ -20,14 +20,13 @@ use dismastd_tensor::Matrix;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A skewed tensor (Zipf indices) so GTP and MTP actually differ.
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     let new_shape = [600usize, 500, 200];
     let old_shape = [450usize, 375, 150];
-    let full =
-        zipf_tensor(&new_shape, 60_000, &[1.0, 1.0, 0.7], &mut rng).expect("feasible density");
-    let complement = full.complement(&old_shape).expect("old box fits");
+    let full = zipf_tensor(&new_shape, 60_000, &[1.0, 1.0, 0.7], &mut rng)?;
+    let complement = full.complement(&old_shape)?;
 
     // Previous factors: pretend the old box was already decomposed.
     let rank = 10;
@@ -50,8 +49,7 @@ fn main() {
     for &workers in &[1usize, 2, 4, 8] {
         for p in [Partitioner::Gtp, Partitioner::Mtp] {
             let cluster = ClusterConfig::new(workers).with_partitioner(p);
-            let out =
-                dismastd(&complement, &old_factors, &cfg, &cluster).expect("decomposition runs");
+            let out = dismastd(&complement, &old_factors, &cfg, &cluster)?;
             println!(
                 "{:>7}  {:>6}  {:>9.2?}  {:>10.1}  {:>11}",
                 workers,
@@ -70,11 +68,9 @@ fn main() {
             let cluster = ClusterConfig::new(4)
                 .with_partitioner(p)
                 .with_parts_per_mode(vec![parts; 3]);
-            let out =
-                dismastd(&complement, &old_factors, &cfg, &cluster).expect("decomposition runs");
+            let out = dismastd(&complement, &old_factors, &cfg, &cluster)?;
             // Re-derive the placement to report the load balance it gave.
-            let grid = GridPartition::build(&complement, p, &[parts; 3], 4)
-                .expect("partitioning succeeds");
+            let grid = GridPartition::build(&complement, p, &[parts; 3], 4)?;
             let balance = BalanceStats::from_loads(&grid.worker_loads(&complement));
             println!(
                 "{:>10}  {:>6}  {:>9.2?}  {:>14.4}",
@@ -89,9 +85,11 @@ fn main() {
     println!("\n-- partition balance detail (per-mode slice partitions, 8 parts) ------");
     println!("mode  GTP std-dev  MTP std-dev");
     for mode in 0..3 {
-        let hist = complement.slice_nnz(mode).expect("mode valid");
+        let hist = complement.slice_nnz(mode)?;
         let g = dismastd_partition::gtp(&hist, 8).balance(&hist);
         let m = dismastd_partition::mtp(&hist, 8).balance(&hist);
         println!("{:>4}  {:>11.1}  {:>11.1}", mode, g.std_dev, m.std_dev);
     }
+
+    Ok(())
 }

@@ -23,23 +23,15 @@ use rand_chacha::ChaCha8Rng;
 use std::fs::File;
 use std::path::PathBuf;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
     // Demo mode: fabricate an input file when none is given.
     let (input, rank, workers) = parse_args(&args);
-    let input = input.unwrap_or_else(|| {
-        let path = std::env::temp_dir().join("dismastd_demo.tns");
-        let mut rng = ChaCha8Rng::seed_from_u64(99);
-        let t = uniform_tensor(&[60, 50, 40], 5_000, &mut rng).expect("feasible");
-        let f = File::create(&path).expect("temp file writable");
-        write_coo_text(&t, f).expect("writes");
-        println!(
-            "(no input given — demo tensor written to {})",
-            path.display()
-        );
-        path
-    });
+    let input = match input {
+        Some(path) => path,
+        None => demo_input()?,
+    };
 
     // 1. Load.
     let file = File::open(&input).unwrap_or_else(|e| {
@@ -65,17 +57,16 @@ fn main() {
     let start = std::time::Instant::now();
     let (kruskal, iterations, comm) = match workers {
         Some(n) => {
-            let out = dismastd_core::dms_mg(&tensor, &cfg, &ClusterConfig::new(n))
-                .expect("decomposition runs");
+            let out = dismastd_core::dms_mg(&tensor, &cfg, &ClusterConfig::new(n))?;
             (out.kruskal, out.iterations, Some(out.comm))
         }
         None => {
-            let out = dismastd_core::als::cp_als(&tensor, &cfg).expect("decomposition runs");
+            let out = dismastd_core::als::cp_als(&tensor, &cfg)?;
             (out.kruskal, out.iterations, None)
         }
     };
     let elapsed = start.elapsed();
-    let fit = kruskal.fit(&tensor).expect("non-zero tensor");
+    let fit = kruskal.fit(&tensor)?;
     println!("rank-{rank} CP decomposition: {iterations} iterations, fit {fit:.4}, {elapsed:.2?}");
     if let Some(c) = comm {
         println!(
@@ -90,7 +81,7 @@ fn main() {
     let mut normalised = kruskal.clone();
     let weights = normalised.normalize_columns();
     let mut ranked: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(
         "component weights (desc): {:?}",
         ranked
@@ -100,9 +91,25 @@ fn main() {
     );
 
     let out_path = input.with_extension("factors.json");
-    let json = serde_json::to_string(&kruskal).expect("factors serialise");
-    std::fs::write(&out_path, json).expect("output writable");
+    let json = serde_json::to_string(&kruskal)?;
+    std::fs::write(&out_path, json)?;
     println!("factors written to {}", out_path.display());
+
+    Ok(())
+}
+
+/// Fabricates the bundled demo tensor in the temp directory.
+fn demo_input() -> Result<PathBuf, Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("dismastd_demo.tns");
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let t = uniform_tensor(&[60, 50, 40], 5_000, &mut rng)?;
+    let f = File::create(&path)?;
+    write_coo_text(&t, f)?;
+    println!(
+        "(no input given — demo tensor written to {})",
+        path.display()
+    );
+    Ok(path)
 }
 
 fn parse_args(args: &[String]) -> (Option<PathBuf>, usize, Option<usize>) {

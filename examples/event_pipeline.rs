@@ -27,17 +27,16 @@ use rand_chacha::ChaCha8Rng;
 const TOTAL_EVENTS: usize = 12_000;
 const BATCH: usize = 2_000;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The event stream: 90 users x 70 items x 40 days at full size.
     let mut rng = ChaCha8Rng::seed_from_u64(123);
     let log =
-        EventLog::synthetic_growth(&[90, 70, 40], TOTAL_EVENTS, &[0.8, 0.8, 0.3], 1.0, &mut rng)
-            .expect("valid generator parameters");
+        EventLog::synthetic_growth(&[90, 70, 40], TOTAL_EVENTS, &[0.8, 0.8, 0.3], 1.0, &mut rng)?;
 
     // 2. Rank selection on the first batch.
-    let first = log.snapshot_after(BATCH).expect("snapshot builds");
+    let first = log.snapshot_after(BATCH)?;
     let base = DecompConfig::default().with_max_iters(15);
-    let search = select_rank(&first, &[2, 4, 8, 12], &base, 0.002).expect("rank search runs");
+    let search = select_rank(&first, &[2, 4, 8, 12], &base, 0.002)?;
     println!("rank search on the first {BATCH} events:");
     for (r, fit) in &search.evaluated {
         println!("  rank {r:>2}: fit {fit:.4}");
@@ -51,10 +50,8 @@ fn main() {
     let mut prev_cut = 0usize;
     let mut cut = BATCH;
     while prev_cut < TOTAL_EVENTS {
-        let snapshot = log.snapshot_after(cut).expect("snapshot builds");
-        let report = session
-            .ingest(&snapshot)
-            .expect("shapes grow monotonically");
+        let snapshot = log.snapshot_after(cut)?;
+        let report = session.ingest(&snapshot)?;
         let in_box = log.in_box_events(prev_cut, cut);
         println!(
             "{:>5}  {:<15} {:>7} {:>10} {:>7}  {:.4}",
@@ -72,7 +69,7 @@ fn main() {
         }
     }
 
-    let factors = session.factors().expect("batches ingested");
+    let factors = session.factors().ok_or("no batches were ingested")?;
     println!(
         "\nmaintained decomposition: rank-{} over {:?} after {} events",
         factors.rank(),
@@ -83,4 +80,6 @@ fn main() {
         "note: in-box events bypass the complement pass and are only captured\n\
          through the μ-weighted history approximation (see data::events docs)."
     );
+
+    Ok(())
 }

@@ -18,7 +18,7 @@ use dismastd_data::{uniform_tensor, StreamSequence};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::var_os("DISMASTD_SMOKE").is_some();
 
     // 1. A synthetic third-order tensor (stand-in for your data).
@@ -28,12 +28,11 @@ fn main() {
     } else {
         (&[120, 100, 60], 20_000)
     };
-    let full = uniform_tensor(shape, nnz, &mut rng).expect("generator parameters are feasible");
+    let full = uniform_tensor(shape, nnz, &mut rng)?;
 
     // 2. The multi-aspect streaming schedule from the paper's Fig. 5:
     //    snapshots at 75%, 80%, …, 100% of every mode.
-    let stream = StreamSequence::cut(&full, &StreamSequence::paper_fractions())
-        .expect("paper fractions are valid");
+    let stream = StreamSequence::cut(&full, &StreamSequence::paper_fractions())?;
 
     // 3. A streaming session: rank-10 CP, forgetting factor 0.8 (paper
     //    defaults), run serially.
@@ -46,7 +45,7 @@ fn main() {
     let mut last_metrics = None;
     println!("step  shape              nnz     processed  iters  fit      time/iter");
     for snapshot in stream.iter() {
-        let report = session.ingest(snapshot).expect("snapshots are nested");
+        let report = session.ingest(snapshot)?;
         last_metrics = report.metrics.clone();
         println!(
             "{:>4}  {:<17} {:>7} {:>10}  {:>5}  {:.4}  {:>9.2?}{}",
@@ -66,16 +65,14 @@ fn main() {
     }
 
     // 4. The latest decomposition is a Kruskal tensor: inspect or predict.
-    let factors = session.factors().expect("snapshots were ingested");
+    let factors = session.factors().ok_or("no snapshots were ingested")?;
     println!(
         "\nfinal decomposition: order-{} rank-{} Kruskal tensor over {:?}",
         factors.order(),
         factors.rank(),
         factors.shape()
     );
-    let prediction = session
-        .predict(&[3, 5, 7])
-        .expect("index within the final shape");
+    let prediction = session.predict(&[3, 5, 7])?;
     println!("predicted value at [3, 5, 7]: {prediction:.4}");
 
     // 5. Where did the last step spend its time?
@@ -83,4 +80,6 @@ fn main() {
         println!("\nper-phase breakdown of the final step:");
         print!("{}", metrics.to_text());
     }
+
+    Ok(())
 }

@@ -18,6 +18,7 @@ use dismastd_tensor::{KruskalTensor, Matrix, SparseTensor, SparseTensorBuilder};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::error::Error;
 use std::time::Instant;
 
 /// Ground truth: a rank-4 preference model over the *final* population.
@@ -29,19 +30,24 @@ struct World {
 }
 
 impl World {
-    fn new(users: usize, products: usize, days: usize, rng: &mut impl Rng) -> Self {
+    fn new(
+        users: usize,
+        products: usize,
+        days: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, Box<dyn Error>> {
         let rank = 4;
         let factors = vec![
             Matrix::random(users, rank, rng),
             Matrix::random(products, rank, rng),
             Matrix::random(days, rank, rng),
         ];
-        World {
-            truth: KruskalTensor::new(factors).expect("equal ranks"),
+        Ok(World {
+            truth: KruskalTensor::new(factors)?,
             users,
             products,
             days,
-        }
+        })
     }
 
     /// True rating of (user, product, day) under the latent model.
@@ -61,7 +67,13 @@ impl World {
     /// Whether a cell is observed is a *per-cell* deterministic coin, so a
     /// larger box strictly contains the observations of a smaller one —
     /// exactly the nested-snapshot property of Def. 4.
-    fn observe(&self, users: usize, products: usize, days: usize, density: f64) -> SparseTensor {
+    fn observe(
+        &self,
+        users: usize,
+        products: usize,
+        days: usize,
+        density: f64,
+    ) -> Result<SparseTensor, Box<dyn Error>> {
         let mut b = SparseTensorBuilder::new(vec![self.users, self.products, self.days]);
         for u in 0..users {
             for p in 0..products {
@@ -69,17 +81,13 @@ impl World {
                     let coin = cell_hash(u, p, d);
                     if (coin as f64 / u64::MAX as f64) < density {
                         let noise = ((coin >> 32) as f64 / u32::MAX as f64 - 0.5) * 0.04;
-                        b.push(&[u, p, d], self.rating(u, p, d) + noise)
-                            .expect("in bounds");
+                        b.push(&[u, p, d], self.rating(u, p, d) + noise)?;
                     }
                 }
             }
         }
         // Trim the coordinate space to the observed box.
-        b.build()
-            .expect("non-empty shape")
-            .restrict(&[users, products, days])
-            .expect("bounds within shape")
+        Ok(b.build()?.restrict(&[users, products, days])?)
     }
 }
 
@@ -95,9 +103,9 @@ fn cell_hash(u: usize, p: usize, d: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let mut rng = ChaCha8Rng::seed_from_u64(99);
-    let world = World::new(60, 50, 30, &mut rng);
+    let world = World::new(60, 50, 30, &mut rng)?;
 
     // Snapshot schedule: users/products/days all grow step by step.
     let schedule = [
@@ -117,13 +125,13 @@ fn main() {
     let mut full_recompute_total = 0.0f64;
     let mut streaming_total = 0.0f64;
     for (u, p, d) in schedule {
-        let snapshot = world.observe(u, p, d, density);
-        let report = session.ingest(&snapshot).expect("nested snapshots");
+        let snapshot = world.observe(u, p, d, density)?;
+        let report = session.ingest(&snapshot)?;
         streaming_total += report.elapsed.as_secs_f64();
 
         // What a static pipeline would pay: full re-decomposition.
         let t = Instant::now();
-        let _ = dismastd_core::als::cp_als(&snapshot, &cfg).expect("als runs");
+        let _ = dismastd_core::als::cp_als(&snapshot, &cfg)?;
         full_recompute_total += t.elapsed().as_secs_f64();
 
         println!(
@@ -153,7 +161,7 @@ fn main() {
         // The paper's Eq. 1 loss treats unobserved cells as zeros, so the
         // model estimates `density * rating`; divide by the observation rate
         // to de-bias the prediction (valid because the mask is uniform).
-        let predicted = session.predict(&[u, p, d]).expect("within final shape") / density;
+        let predicted = session.predict(&[u, p, d])? / density;
         let actual = world.rating(u, p, d);
         let err = predicted - actual;
         se += err * err;
@@ -189,4 +197,6 @@ fn main() {
             full_recompute_total / streaming_total
         );
     }
+
+    Ok(())
 }

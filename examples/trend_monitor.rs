@@ -35,14 +35,17 @@ struct Trend {
     intensity: f64,
 }
 
-fn build_full_tensor(trends: &[Trend], rng: &mut ChaCha8Rng) -> SparseTensor {
+fn build_full_tensor(
+    trends: &[Trend],
+    rng: &mut ChaCha8Rng,
+) -> Result<SparseTensor, Box<dyn std::error::Error>> {
     let mut b = SparseTensorBuilder::new(vec![ACCOUNTS, TOPICS, HOURS]);
     // Background chatter: Zipf-skewed (a few loud accounts and hot topics).
     let acc = ZipfSampler::new(ACCOUNTS, 1.0);
     let top = ZipfSampler::new(TOPICS, 1.1);
     for _ in 0..12_000 {
         let idx = [acc.sample(rng), top.sample(rng), rng.gen_range(0..HOURS)];
-        b.push(&idx, rng.gen_range(0.2..1.0)).expect("in bounds");
+        b.push(&idx, rng.gen_range(0.2..1.0))?;
     }
     // Planted trends: dense positive blocks.
     for t in trends {
@@ -50,14 +53,13 @@ fn build_full_tensor(trends: &[Trend], rng: &mut ChaCha8Rng) -> SparseTensor {
             for q in t.topics.clone() {
                 for h in t.hours.clone() {
                     if rng.gen::<f64>() < 0.6 {
-                        b.push(&[a, q, h], t.intensity * rng.gen_range(0.8..1.2))
-                            .expect("in bounds");
+                        b.push(&[a, q, h], t.intensity * rng.gen_range(0.8..1.2))?;
                     }
                 }
             }
         }
     }
-    b.build().expect("valid shape")
+    Ok(b.build()?)
 }
 
 /// Index of the largest-magnitude entries of a factor column.
@@ -65,11 +67,11 @@ fn top_indices(col: usize, factor: &dismastd_tensor::Matrix, k: usize) -> Vec<us
     let mut scored: Vec<(usize, f64)> = (0..factor.rows())
         .map(|i| (i, factor.get(i, col).abs()))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored.into_iter().take(k).map(|(i, _)| i).collect()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     let trends = vec![
         Trend {
@@ -91,7 +93,7 @@ fn main() {
             intensity: 9.0,
         },
     ];
-    let full = build_full_tensor(&trends, &mut rng);
+    let full = build_full_tensor(&trends, &mut rng)?;
     println!("activity tensor: {:?}, {} events", full.shape(), full.nnz());
 
     // Stream it over a 4-worker simulated cluster with MTP partitioning
@@ -108,8 +110,8 @@ fn main() {
             .iter()
             .map(|&s| ((s as f64 * f).ceil() as usize).min(s))
             .collect();
-        let snapshot = full.restrict(&bounds).expect("bounds valid");
-        let report = session.ingest(&snapshot).expect("nested snapshots");
+        let snapshot = full.restrict(&bounds)?;
+        let report = session.ingest(&snapshot)?;
         println!(
             "{:>4}  {:<17} {:>7} {:>10}  {:.4}  {:>9}",
             report.step,
@@ -123,7 +125,7 @@ fn main() {
 
     // Inspect the latent components: each planted trend should dominate one
     // component in all three modes.
-    let k = session.factors().expect("ingested");
+    let k = session.factors().ok_or("no batches were ingested")?;
     println!("\n-- latent components (top indices per mode) ---------------------------");
     for c in 0..k.rank() {
         let accounts = top_indices(c, k.factor(0), 5);
@@ -163,4 +165,6 @@ fn main() {
             }
         );
     }
+
+    Ok(())
 }
