@@ -1,0 +1,221 @@
+//! **Collectives smoke** — quick health check of the collective layer:
+//! allreduce algorithm micro-timings, exchange compression ratios, and the
+//! dist-4 exchange fraction against the pre-rework baseline.
+//!
+//! ```text
+//! cargo run -p dismastd-bench --release --bin collectives_smoke
+//! ```
+//!
+//! Three parts, all sized to run in seconds (the bin is wired into
+//! `scripts/check.sh`):
+//!
+//! 1. **Allreduce micro-bench** — times flat, ring, and halving/doubling
+//!    reductions of one Gram-sized buffer on a 4-worker cluster.
+//! 2. **Policy comparison** — one incremental streaming step at dist-4
+//!    under the flat policy, the default (compressed, auto-allreduce,
+//!    overlapped) policy, and the default plus the f32 downcast, recording
+//!    bytes, wire bytes, compression ratios, and exchange fractions.
+//! 3. **Baseline check** — the measured exchange fractions land in
+//!    `bench_results/collectives.json` next to the seed baseline
+//!    (0.39890494 at dist-4) so regressions are visible in review.
+
+use dismastd_bench::{print_table, ExperimentContext};
+use dismastd_cluster::{AllreduceAlgo, Cluster, ClusterOptions, CommPolicy};
+use dismastd_core::{ClusterConfig, DecompConfig, ExecutionMode, StepReport, StreamingSession};
+use dismastd_data::{DatasetSpec, StreamSequence};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Dist-4 `frac_exchange` of the seed revision's `phases.jsonl`, before the
+/// compressed/overlapped collective layer existed.
+const SEED_DIST4_EXCHANGE_FRACTION: f64 = 0.398_904_94;
+
+/// Workers in the comparison runs (matches the baseline row).
+const WORLD: usize = 4;
+
+#[derive(Serialize)]
+struct AllreduceBench {
+    algo: String,
+    world: usize,
+    buffer_len: usize,
+    reps: usize,
+    /// Slowest rank's mean seconds per allreduce.
+    secs_per_op: f64,
+}
+
+#[derive(Serialize)]
+struct PolicyRun {
+    policy: String,
+    iterations: f64,
+    logical_bytes: u64,
+    wire_bytes: u64,
+    compressed_bytes: u64,
+    downcast_rows: u64,
+    compression_ratio: f64,
+    exchange_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct ExchangeFraction {
+    workers: usize,
+    baseline_seed: f64,
+    flat: f64,
+    optimized: f64,
+}
+
+#[derive(Serialize)]
+struct CollectivesReport {
+    benchmarks: Vec<AllreduceBench>,
+    compression: Vec<PolicyRun>,
+    exchange_fraction: ExchangeFraction,
+}
+
+/// Times `reps` allreduces of a `len`-element buffer under `algo` and
+/// returns the slowest rank's mean seconds per operation.
+fn time_allreduce(
+    algo: AllreduceAlgo,
+    len: usize,
+    reps: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let (times, _comm) =
+        Cluster::try_run_with_opts(WORLD, &ClusterOptions::default(), move |ctx| {
+            let mut buf = vec![ctx.rank() as f64 + 1.0; len];
+            ctx.try_allreduce_sum_with(&mut buf, algo)?; // warm-up
+            let start = Instant::now();
+            for _ in 0..reps {
+                buf.iter_mut().for_each(|v| *v = 1.0);
+                ctx.try_allreduce_sum_with(&mut buf, algo)?;
+            }
+            Ok(start.elapsed())
+        })
+        .map_err(|e| format!("allreduce micro-bench failed: {e}"))?;
+    let slowest = times.into_iter().max().unwrap_or_default();
+    Ok(slowest.as_secs_f64() / reps as f64)
+}
+
+/// Runs one two-snapshot stream at dist-4 under `policy` and extracts the
+/// traffic counters and the exchange fraction of total phase time.
+fn run_policy(
+    spec: &DatasetSpec,
+    cfg: &DecompConfig,
+    name: &str,
+    policy: CommPolicy,
+) -> Result<PolicyRun, Box<dyn std::error::Error>> {
+    let full = spec.generate()?;
+    let stream = StreamSequence::cut(&full, &[0.9, 1.0])?;
+    let mode = ExecutionMode::Distributed(ClusterConfig::new(WORLD).with_comm(policy));
+    let mut session = StreamingSession::new(*cfg, mode);
+    session.set_collect_metrics(true);
+    session.ingest(stream.snapshot(0))?;
+    let report: StepReport = session.ingest(stream.snapshot(1))?;
+
+    let metrics = report
+        .metrics
+        .as_ref()
+        .ok_or("metrics were not collected")?;
+    let phase_ns = metrics.phase_total_ns() as f64;
+    let exchange_ns = metrics.span_total_ns("phase/exchange") as f64;
+    let comm = report
+        .comm
+        .as_ref()
+        .ok_or("distributed step carries comm")?;
+    Ok(PolicyRun {
+        policy: name.to_string(),
+        iterations: report.iterations as f64,
+        logical_bytes: comm.bytes,
+        wire_bytes: comm.wire_bytes(),
+        compressed_bytes: comm.compressed_bytes,
+        downcast_rows: comm.downcast_rows,
+        compression_ratio: comm.compression_ratio(),
+        exchange_fraction: if phase_ns > 0.0 {
+            exchange_ns / phase_ns
+        } else {
+            0.0
+        },
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = ExperimentContext::from_env();
+
+    // -- 1. allreduce micro-bench ----------------------------------------
+    let (len, reps) = (32 * 1024, 8);
+    let mut benchmarks = Vec::new();
+    println!("== Allreduce micro-bench ({WORLD} workers, {len} f64) ==\n");
+    let mut rows = Vec::new();
+    for (name, algo) in [
+        ("flat", AllreduceAlgo::Flat),
+        ("ring", AllreduceAlgo::Ring),
+        ("halving", AllreduceAlgo::Halving),
+    ] {
+        let secs = time_allreduce(algo, len, reps)?;
+        rows.push(vec![name.to_string(), format!("{:.1}", secs * 1e6)]);
+        benchmarks.push(AllreduceBench {
+            algo: name.to_string(),
+            world: WORLD,
+            buffer_len: len,
+            reps,
+            secs_per_op: secs,
+        });
+    }
+    print_table(&["algo", "µs/op"], &rows);
+
+    // -- 2. policy comparison at dist-4 ----------------------------------
+    let cfg = DecompConfig::default().with_max_iters(5);
+    let spec = DatasetSpec::synthetic(ctx.scale);
+    println!(
+        "\n== Comm-policy comparison (dist-{WORLD}, {}) ==\n",
+        spec.name
+    );
+    let runs = vec![
+        run_policy(&spec, &cfg, "flat", CommPolicy::flat())?,
+        run_policy(&spec, &cfg, "default", CommPolicy::default())?,
+        run_policy(
+            &spec,
+            &cfg,
+            "downcast",
+            CommPolicy::default().with_downcast_f32(true),
+        )?,
+    ];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.logical_bytes.to_string(),
+                r.wire_bytes.to_string(),
+                format!("{:.3}", r.compression_ratio),
+                format!("{:.4}", r.exchange_fraction),
+            ]
+        })
+        .collect();
+    print_table(
+        &["policy", "logical B", "wire B", "ratio", "frac_exchange"],
+        &rows,
+    );
+
+    // -- 3. persist next to the seed baseline ----------------------------
+    let exchange_fraction = ExchangeFraction {
+        workers: WORLD,
+        baseline_seed: SEED_DIST4_EXCHANGE_FRACTION,
+        flat: runs[0].exchange_fraction,
+        optimized: runs[1].exchange_fraction,
+    };
+    println!(
+        "\nexchange fraction: seed {:.4} -> flat {:.4} / optimized {:.4}",
+        exchange_fraction.baseline_seed, exchange_fraction.flat, exchange_fraction.optimized
+    );
+    let report = CollectivesReport {
+        benchmarks,
+        compression: runs,
+        exchange_fraction,
+    };
+    std::fs::create_dir_all("bench_results")?;
+    let path = "bench_results/collectives.json";
+    std::fs::write(
+        path,
+        serde_json::to_string(&report).map_err(std::io::Error::other)?,
+    )?;
+    eprintln!("[saved {path}]");
+    Ok(())
+}

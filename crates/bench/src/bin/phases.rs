@@ -2,14 +2,20 @@
 //! distributed, from the observability layer's span registry.
 //!
 //! ```text
-//! cargo run -p dismastd-bench --release --bin phases
+//! cargo run -p dismastd-bench --release --bin phases [workers] [iters]
 //! ```
+//!
+//! `workers` is a comma-separated worker-count list (`1` runs serial mode);
+//! `iters` caps the ALS iterations per step.  Both fall back to the
+//! `DISMASTD_WORKERS` / `DISMASTD_ITERS` environment variables and then to
+//! the defaults `1,2,4` and `5`.
 //!
 //! Unlike the figure bins, which model cluster wall-clock, this bin answers
 //! "where does the step spend its time": MTTKRP vs solve vs Gram rebuild vs
 //! row exchange, per configuration, as fractions of the step's wall-clock.
 //! Records land in `bench_results/phases.jsonl` with one row per
-//! configuration and the phase fractions in `extra`.
+//! configuration, the phase fractions in `extra`, and — for distributed
+//! rows — the per-rank byte breakdown and wire-level compression figures.
 
 use dismastd_bench::{print_table, save_records, ExperimentContext, ResultRecord};
 use dismastd_core::{ClusterConfig, DecompConfig, ExecutionMode, StepReport, StreamingSession};
@@ -30,6 +36,31 @@ const PHASES: [&str; 10] = [
     "phase/loss",
 ];
 
+/// First CLI argument, else the environment variable, else the default.
+fn arg_or_env(position: usize, var: &str) -> Option<String> {
+    std::env::args()
+        .nth(position)
+        .or_else(|| std::env::var(var).ok())
+}
+
+/// Parses the worker-count sweep (`"1,2,4"`).
+fn parse_workers(raw: Option<String>) -> Result<Vec<usize>, Box<dyn std::error::Error>> {
+    let Some(raw) = raw else {
+        return Ok(vec![1, 2, 4]);
+    };
+    let mut out = Vec::new();
+    for part in raw.split(',') {
+        let w: usize = part.trim().parse().map_err(|e| {
+            format!("bad worker count {part:?} in {raw:?}: {e} (expected e.g. \"1,2,4\")")
+        })?;
+        if w == 0 {
+            return Err(format!("worker count 0 in {raw:?} is invalid").into());
+        }
+        out.push(w);
+    }
+    Ok(out)
+}
+
 /// Runs one two-snapshot stream (cold start + incremental step) and returns
 /// the incremental step's report, with metrics collected.
 fn run_step(
@@ -47,25 +78,35 @@ fn run_step(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = ExperimentContext::from_env();
-    let cfg = DecompConfig::default().with_max_iters(5);
+    let worker_counts = parse_workers(arg_or_env(1, "DISMASTD_WORKERS"))?;
+    let iters: usize = match arg_or_env(2, "DISMASTD_ITERS") {
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad iteration count {raw:?}: {e}"))?,
+        None => 5,
+    };
+    let cfg = DecompConfig::default().with_max_iters(iters);
     let spec = DatasetSpec::synthetic(ctx.scale);
     let mut records: Vec<ResultRecord> = Vec::new();
 
     println!(
-        "== Per-phase breakdown of one incremental step ({}, scale {:.2}) ==\n",
-        spec.name, ctx.scale
+        "== Per-phase breakdown of one incremental step ({}, scale {:.2}, {} iters) ==\n",
+        spec.name, ctx.scale, iters
     );
-    let configs: Vec<(String, ExecutionMode)> = vec![
-        ("serial".into(), ExecutionMode::Serial),
-        (
-            "dist-2".into(),
-            ExecutionMode::Distributed(ClusterConfig::new(2)),
-        ),
-        (
-            "dist-4".into(),
-            ExecutionMode::Distributed(ClusterConfig::new(4)),
-        ),
-    ];
+    let configs: Vec<(String, ExecutionMode)> = worker_counts
+        .into_iter()
+        .map(|w| {
+            if w == 1 {
+                ("serial".to_string(), ExecutionMode::Serial)
+            } else {
+                (
+                    format!("dist-{w}"),
+                    ExecutionMode::Distributed(ClusterConfig::new(w)),
+                )
+            }
+        })
+        .collect();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (name, mode) in configs {
@@ -89,6 +130,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("phase_total_s".into(), phase_ns / 1e9),
             ("iterations".into(), report.iterations as f64),
         ]);
+        if let Some(comm) = &report.comm {
+            extra.insert("bytes_total".into(), comm.bytes as f64);
+            extra.insert("wire_bytes".into(), comm.wire_bytes() as f64);
+            extra.insert("compression_ratio".into(), comm.compression_ratio());
+            if !comm.bytes_by_sender.is_empty() {
+                let mean = comm.bytes as f64 / comm.bytes_by_sender.len() as f64;
+                extra.insert("bytes_per_rank".into(), mean);
+                for (rank, &b) in comm.bytes_by_sender.iter().enumerate() {
+                    extra.insert(format!("bytes_rank{rank}"), b as f64);
+                }
+            }
+        }
         let mut row = vec![name.clone(), format!("{:.4}", elapsed_ns / 1e9)];
         for phase in PHASES {
             let ns = metrics.span_total_ns(phase) as f64;

@@ -27,12 +27,14 @@ pub mod cost;
 pub mod error;
 pub mod fault;
 pub mod runtime;
+pub mod wire;
 
 pub use comm::{BufferPool, CommStats, CommStatsSnapshot, Payload};
 pub use cost::CostModel;
 pub use error::{ClusterError, ClusterResult};
 pub use fault::FaultPlan;
-pub use runtime::{Cluster, ClusterOptions, WorkerCtx};
+pub use runtime::{Cluster, ClusterOptions, Framed, PendingExchange, WorkerCtx};
+pub use wire::{decode_rows, maybe_compress, AllreduceAlgo, CommPolicy, WireMeta};
 
 #[cfg(test)]
 mod proptests {

@@ -36,6 +36,7 @@
 use crate::comm::{CommStats, CommStatsSnapshot, Payload};
 use crate::error::{ClusterError, ClusterResult};
 use crate::fault::{FaultPlan, MessageFate};
+use crate::wire::{AllreduceAlgo, WireMeta};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -344,6 +345,48 @@ fn unwrap_comm<T>(result: ClusterResult<T>) -> T {
     }
 }
 
+/// A payload plus its accounting sidecar: `meta` is present iff the
+/// payload is a compressed frame standing in for a larger flat payload,
+/// in which case the logical counters record `meta.logical_bytes` and the
+/// wire counters record the frame's encoded size.
+#[derive(Debug, Clone)]
+pub struct Framed {
+    /// What goes on the wire.
+    pub payload: Payload,
+    /// Compression accounting; `None` for ordinary payloads.
+    pub meta: Option<WireMeta>,
+}
+
+impl Framed {
+    /// An uncompressed payload (wire size == logical size).
+    pub fn plain(payload: Payload) -> Self {
+        Framed {
+            payload,
+            meta: None,
+        }
+    }
+
+    /// A compressed frame with its flat-equivalent accounting.
+    pub fn compressed(payload: Payload, meta: WireMeta) -> Self {
+        Framed {
+            payload,
+            meta: Some(meta),
+        }
+    }
+}
+
+/// Handle to an all-to-all exchange whose sends have been posted but whose
+/// receives have not yet run — the overlap window.  Must be completed with
+/// [`WorkerCtx::complete_exchange`] before the next collective that needs
+/// the data; dropping it without completing leaves the peers' messages to
+/// be drained by tag matching, but never corrupts later collectives (tags
+/// are unique per collective).
+#[must_use = "posted exchanges must be completed to receive the peers' payloads"]
+pub struct PendingExchange {
+    tag: u64,
+    mine: Payload,
+}
+
 /// A worker's handle to the simulated cluster: identity, messaging, and
 /// collectives.
 pub struct WorkerCtx {
@@ -454,14 +497,42 @@ impl WorkerCtx {
     /// Sends on the data plane: counted in [`CommStats`] and subject to
     /// fault injection (remote messages only).
     fn try_send_raw(&mut self, dst: usize, tag: u64, payload: Payload) -> ClusterResult<()> {
+        self.try_send_raw_with(dst, tag, payload, None)
+    }
+
+    /// [`WorkerCtx::try_send_raw`] with optional compression accounting:
+    /// with `meta`, the logical counters record the flat-equivalent size
+    /// (keeping compressed and flat runs byte-for-byte comparable) and the
+    /// wire counters record what the frame actually cost.
+    fn try_send_raw_with(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        payload: Payload,
+        meta: Option<WireMeta>,
+    ) -> ClusterResult<()> {
         if let Some(err) = &self.abort {
             return Err(err.clone());
         }
         let remote = dst != self.rank;
         if remote {
-            self.stats
-                .record_message_from(self.rank, payload.size_bytes());
-            dismastd_obs::histogram_record("comm/msg_bytes", payload.size_bytes());
+            match &meta {
+                Some(m) => {
+                    let wire = payload.size_bytes();
+                    self.stats.record_message_from(self.rank, m.logical_bytes);
+                    self.stats
+                        .record_compressed(wire, m.logical_bytes, m.downcast_rows);
+                    dismastd_obs::histogram_record("comm/msg_bytes", m.logical_bytes);
+                    dismastd_obs::histogram_record("comm/wire_bytes", wire);
+                    dismastd_obs::counter_add("comm/compressed_bytes", wire);
+                    dismastd_obs::counter_add("comm/downcast_rows", m.downcast_rows);
+                }
+                None => {
+                    self.stats
+                        .record_message_from(self.rank, payload.size_bytes());
+                    dismastd_obs::histogram_record("comm/msg_bytes", payload.size_bytes());
+                }
+            }
         }
         let id = self.fresh_msg_id();
         let fate = match (&self.plan, remote) {
@@ -470,6 +541,25 @@ impl WorkerCtx {
         };
         let sent = match fate {
             MessageFate::Deliver => self.deliver(dst, tag, id, payload),
+            MessageFate::Corrupt => {
+                // Silent in-flight corruption.  Only opaque byte frames are
+                // tamperable on this typed transport; the frame decoder's
+                // index-block validation is the detection layer.  The byte
+                // flipped sits in the header/count region, so decoding
+                // always surfaces a typed error rather than wrong values.
+                let tampered = match payload {
+                    Payload::Bytes(b) => {
+                        let mut v = b.to_vec();
+                        let pos = usize::from(v.len() > 1);
+                        if let Some(byte) = v.get_mut(pos) {
+                            *byte ^= 0x55;
+                        }
+                        Payload::Bytes(bytes::Bytes::from(v))
+                    }
+                    other => other,
+                };
+                self.deliver(dst, tag, id, tampered)
+            }
             MessageFate::Delay(d) => {
                 // The simulated network holds the message; the synchronous
                 // sender models that by sleeping before handing it over.
@@ -493,8 +583,15 @@ impl WorkerCtx {
                 // Spurious retransmit: both copies hit the wire; the
                 // receiver's sequence check discards the second.
                 self.stats.record_retransmit(payload.size_bytes());
-                self.deliver(dst, tag, id, payload.clone())
-                    .and_then(|()| self.deliver(dst, tag, id, payload))
+                let first = self.deliver(dst, tag, id, payload.clone());
+                if first.is_ok() {
+                    // The receiver owes a recv only for the logical copy,
+                    // so it may consume that and exit before the spurious
+                    // one lands — a dead-letter on the simulated wire, not
+                    // a peer failure.
+                    let _ = self.deliver(dst, tag, id, payload);
+                }
+                first
             }
         };
         sent.map_err(|e| self.root_cause_for_send_failure(e))
@@ -733,22 +830,67 @@ impl WorkerCtx {
     ///
     /// # Panics
     /// Panics unless `outgoing.len() == world` (a caller bug).
-    pub fn try_exchange(&mut self, mut outgoing: Vec<Payload>) -> ClusterResult<Vec<Payload>> {
-        assert_eq!(outgoing.len(), self.world, "one payload per destination");
+    pub fn try_exchange(&mut self, outgoing: Vec<Payload>) -> ClusterResult<Vec<Payload>> {
         let _span = dismastd_obs::span("comm/exchange");
+        let pending = self.post_exchange(outgoing)?;
+        self.complete_exchange(pending)
+    }
+
+    /// Posts the send half of an all-to-all exchange and returns without
+    /// waiting for the peers' payloads — the receive half runs in
+    /// [`WorkerCtx::complete_exchange`], letting callers overlap local
+    /// compute with the in-flight messages.  Collective sequencing,
+    /// crash-point and stats bookkeeping all happen here, exactly as a
+    /// combined [`WorkerCtx::try_exchange`] would.
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_exchange`].
+    ///
+    /// # Panics
+    /// Panics unless `outgoing.len() == world` (a caller bug).
+    pub fn post_exchange(&mut self, outgoing: Vec<Payload>) -> ClusterResult<PendingExchange> {
+        self.post_exchange_framed(outgoing.into_iter().map(Framed::plain).collect())
+    }
+
+    /// [`WorkerCtx::post_exchange`] for payloads carrying compression
+    /// accounting (see [`Framed`]).
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_exchange`].
+    ///
+    /// # Panics
+    /// Panics unless `outgoing.len() == world` (a caller bug).
+    pub fn post_exchange_framed(
+        &mut self,
+        mut outgoing: Vec<Framed>,
+    ) -> ClusterResult<PendingExchange> {
+        assert_eq!(outgoing.len(), self.world, "one payload per destination");
+        let _span = dismastd_obs::span("comm/exchange_post");
         self.maybe_crash()?;
         let tag = self.next_seq();
         if self.rank == 0 {
             self.stats.record_collective();
         }
         // Keep the self-payload aside, send the rest.
-        let mine = std::mem::replace(&mut outgoing[self.rank], Payload::Empty);
-        for (dst, payload) in outgoing.into_iter().enumerate() {
+        let mine = std::mem::replace(&mut outgoing[self.rank].payload, Payload::Empty);
+        for (dst, framed) in outgoing.into_iter().enumerate() {
             if dst == self.rank {
                 continue;
             }
-            self.try_send_raw(dst, tag, payload)?;
+            self.try_send_raw_with(dst, tag, framed.payload, framed.meta)?;
         }
+        Ok(PendingExchange { tag, mine })
+    }
+
+    /// Receive half of a posted exchange: blocks for every peer's payload
+    /// and returns them rank-ordered, the own payload at `rank` (same
+    /// contract as [`WorkerCtx::try_exchange`]).
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_exchange`].
+    pub fn complete_exchange(&mut self, pending: PendingExchange) -> ClusterResult<Vec<Payload>> {
+        let _span = dismastd_obs::span("comm/exchange_wait");
+        let PendingExchange { tag, mine } = pending;
         let mut incoming = Vec::with_capacity(self.world);
         for src in 0..self.world {
             if src == self.rank {
@@ -872,14 +1014,43 @@ impl WorkerCtx {
     /// `SizeMismatch` on disagreeing lengths, `TypeMismatch` on protocol
     /// corruption, or the poisoning error when a peer fails.
     pub fn try_allreduce_sum(&mut self, buf: &mut [f64]) -> ClusterResult<()> {
-        // The inner gather/broadcast record their own comm/* spans, which
-        // nest inside this one; comm/* totals are therefore per-primitive,
-        // not additive across the family.
+        self.try_allreduce_sum_with(buf, AllreduceAlgo::Flat)
+    }
+
+    /// [`WorkerCtx::try_allreduce_sum`] with an explicit algorithm choice.
+    ///
+    /// `Auto` resolves per call from payload size × worker count (see
+    /// [`AllreduceAlgo::resolve`]).  `Ring` reproduces the flat path's
+    /// per-element summation order exactly — rank-ordered chain reduction —
+    /// so the two are bit-identical; `Halving` reassociates the sum and
+    /// agrees only within floating-point rounding.
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_allreduce_sum`].
+    pub fn try_allreduce_sum_with(
+        &mut self,
+        buf: &mut [f64],
+        algo: AllreduceAlgo,
+    ) -> ClusterResult<()> {
+        // The inner primitives record their own comm/* spans, which nest
+        // inside this one; comm/* totals are therefore per-primitive, not
+        // additive across the family.
         let _span = dismastd_obs::span("comm/allreduce");
         if self.world == 1 {
             self.maybe_crash()?;
             return Ok(());
         }
+        let bytes = std::mem::size_of_val(buf) as u64;
+        match algo.resolve(self.world, bytes) {
+            AllreduceAlgo::Ring => self.allreduce_ring(buf),
+            AllreduceAlgo::Halving => self.allreduce_halving(buf),
+            _ => self.allreduce_flat(buf),
+        }
+    }
+
+    /// Seed algorithm: gather-to-0 + broadcast.  Two collectives' worth of
+    /// sequencing and `2(w−1)·b` bytes through the root.
+    fn allreduce_flat(&mut self, buf: &mut [f64]) -> ClusterResult<()> {
         let root = 0usize;
         let gathered = self.try_gather(root, Payload::F64(buf.to_vec()))?;
         if self.rank == root {
@@ -925,6 +1096,171 @@ impl WorkerCtx {
                 });
             }
             buf.copy_from_slice(&reduced);
+        }
+        Ok(())
+    }
+
+    /// Splits `0..len` into at most `world` contiguous, near-equal chunks
+    /// (at least one, so zero-length reductions still flow through the
+    /// chain and keep the message pattern uniform across ranks).
+    fn ring_chunks(len: usize, world: usize) -> Vec<std::ops::Range<usize>> {
+        let parts = world.min(len.max(1));
+        let base = len / parts;
+        let rem = len % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for i in 0..parts {
+            let extra = usize::from(i < rem);
+            let end = start + base + extra;
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+
+    /// Pipelined chain allreduce: chunks flow rank 0 → 1 → … → w−1
+    /// accumulating contributions in rank order, then back down carrying
+    /// the totals.  Per-rank traffic is ≈`2·b` bytes regardless of `w`
+    /// (vs `2(w−1)·b` through the flat root), and because partial sums
+    /// accumulate in exactly the flat path's rank order, results are
+    /// bit-identical to [`WorkerCtx::allreduce_flat`].
+    fn allreduce_ring(&mut self, buf: &mut [f64]) -> ClusterResult<()> {
+        let _span = dismastd_obs::span("comm/allreduce_ring");
+        self.maybe_crash()?;
+        let tag = self.next_seq();
+        if self.rank == 0 {
+            self.stats.record_collective();
+        }
+        let w = self.world;
+        let me = self.rank;
+        let chunks = Self::ring_chunks(buf.len(), w);
+        // Upstream: receive the running sum from the left neighbour, fold
+        // in the local contribution, forward right.  The last rank holds
+        // each chunk's total the moment it arrives and starts it on its
+        // way back down immediately, so the two waves pipeline.
+        for range in &chunks {
+            if me > 0 {
+                let part = self
+                    .try_recv_raw(me - 1, tag, self.default_timeout)?
+                    .try_into_f64()?;
+                if part.len() != range.len() {
+                    let e = ClusterError::SizeMismatch {
+                        rank: me - 1,
+                        expected: range.len(),
+                        found: part.len(),
+                    };
+                    self.abort_peers(e.clone());
+                    return Err(e);
+                }
+                for (b, x) in buf[range.clone()].iter_mut().zip(&part) {
+                    *b += *x;
+                }
+            }
+            if me < w - 1 {
+                self.try_send_raw(me + 1, tag, Payload::F64(buf[range.clone()].to_vec()))?;
+            } else if me > 0 {
+                // Chunk total ready: start the downstream wave.
+                self.try_send_raw(me - 1, tag, Payload::F64(buf[range.clone()].to_vec()))?;
+            }
+        }
+        // Downstream: totals flow w−1 → 0; everyone below the top copies
+        // and forwards.  Channel FIFO per (src, tag) keeps the upstream
+        // and downstream chunk streams from the right neighbour ordered.
+        if me < w - 1 {
+            for range in &chunks {
+                let total = self
+                    .try_recv_raw(me + 1, tag, self.default_timeout)?
+                    .try_into_f64()?;
+                if total.len() != range.len() {
+                    let e = ClusterError::SizeMismatch {
+                        rank: me + 1,
+                        expected: range.len(),
+                        found: total.len(),
+                    };
+                    self.abort_peers(e.clone());
+                    return Err(e);
+                }
+                buf[range.clone()].copy_from_slice(&total);
+                if me > 0 {
+                    self.try_send_raw(me - 1, tag, Payload::F64(total))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recursive-halving reduce-scatter + recursive-doubling allgather.
+    /// `log₂(w)` rounds each way with `≈2·b·(w−1)/w` bytes per rank.
+    /// Requires a power-of-two world ([`AllreduceAlgo::resolve`] falls
+    /// back to the ring otherwise) and reassociates the sum, so results
+    /// match the flat path only within floating-point rounding.
+    fn allreduce_halving(&mut self, buf: &mut [f64]) -> ClusterResult<()> {
+        let _span = dismastd_obs::span("comm/allreduce_halving");
+        self.maybe_crash()?;
+        let tag = self.next_seq();
+        if self.rank == 0 {
+            self.stats.record_collective();
+        }
+        let w = self.world;
+        let me = self.rank;
+        debug_assert!(w.is_power_of_two(), "resolve() guarantees a power of two");
+        let mut lo = 0usize;
+        let mut hi = buf.len();
+        // Reduce-scatter: each round pairs ranks `dist` apart, halves the
+        // active span, and reduces the kept half.  Both partners share the
+        // enclosing span, so they compute the same midpoint.
+        let mut rounds: Vec<(usize, usize, usize)> = Vec::new(); // (partner, lo, hi)
+        let mut dist = w / 2;
+        while dist >= 1 {
+            let partner = me ^ dist;
+            let mid = lo + (hi - lo) / 2;
+            let keep_low = me & dist == 0;
+            let (keep, give) = if keep_low {
+                ((lo, mid), (mid, hi))
+            } else {
+                ((mid, hi), (lo, mid))
+            };
+            self.try_send_raw(partner, tag, Payload::F64(buf[give.0..give.1].to_vec()))?;
+            let part = self
+                .try_recv_raw(partner, tag, self.default_timeout)?
+                .try_into_f64()?;
+            if part.len() != keep.1 - keep.0 {
+                let e = ClusterError::SizeMismatch {
+                    rank: partner,
+                    expected: keep.1 - keep.0,
+                    found: part.len(),
+                };
+                self.abort_peers(e.clone());
+                return Err(e);
+            }
+            for (b, x) in buf[keep.0..keep.1].iter_mut().zip(&part) {
+                *b += *x;
+            }
+            rounds.push((partner, lo, hi));
+            lo = keep.0;
+            hi = keep.1;
+            dist /= 2;
+        }
+        // Allgather: undo the rounds in reverse, exchanging reduced spans
+        // with the same partners until everyone holds the full buffer.
+        for &(partner, plo, phi) in rounds.iter().rev() {
+            self.try_send_raw(partner, tag, Payload::F64(buf[lo..hi].to_vec()))?;
+            let (glo, ghi) = if lo == plo { (hi, phi) } else { (plo, lo) };
+            let part = self
+                .try_recv_raw(partner, tag, self.default_timeout)?
+                .try_into_f64()?;
+            if part.len() != ghi - glo {
+                let e = ClusterError::SizeMismatch {
+                    rank: partner,
+                    expected: ghi - glo,
+                    found: part.len(),
+                };
+                self.abort_peers(e.clone());
+                return Err(e);
+            }
+            buf[glo..ghi].copy_from_slice(&part);
+            lo = plo;
+            hi = phi;
         }
         Ok(())
     }
@@ -1212,6 +1548,239 @@ mod tests {
         assert_eq!(stats.bytes, 0);
         assert_eq!(stats.messages, 0);
         assert_eq!(stats.collectives, 2);
+    }
+
+    fn skewed(rank: usize, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((rank * 31 + i) as f64).sin() * 1e3 + i as f64 * 0.01)
+            .collect()
+    }
+
+    #[test]
+    fn ring_allreduce_is_bit_identical_to_flat() {
+        for world in [2usize, 3, 4, 5] {
+            for len in [0usize, 1, 7, 64, 257] {
+                let flat = Cluster::run(world, |ctx| {
+                    let mut buf = skewed(ctx.rank(), len);
+                    ctx.try_allreduce_sum_with(&mut buf, AllreduceAlgo::Flat)
+                        .unwrap();
+                    buf
+                })
+                .unwrap();
+                let ring = Cluster::run(world, |ctx| {
+                    let mut buf = skewed(ctx.rank(), len);
+                    ctx.try_allreduce_sum_with(&mut buf, AllreduceAlgo::Ring)
+                        .unwrap();
+                    buf
+                })
+                .unwrap();
+                for (f, r) in flat.iter().zip(&ring) {
+                    let fb: Vec<u64> = f.iter().map(|x| x.to_bits()).collect();
+                    let rb: Vec<u64> = r.iter().map(|x| x.to_bits()).collect();
+                    assert_eq!(fb, rb, "world {world}, len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_moves_the_same_bytes_as_flat() {
+        let run = |algo| {
+            let (_, stats) = Cluster::run_with_stats(4, move |ctx| {
+                let mut buf = skewed(ctx.rank(), 100);
+                ctx.try_allreduce_sum_with(&mut buf, algo).unwrap();
+            })
+            .unwrap();
+            stats
+        };
+        let flat = run(AllreduceAlgo::Flat);
+        let ring = run(AllreduceAlgo::Ring);
+        // Total volume matches (2(w−1)·b both ways) but the ring spreads
+        // it: the busiest sender carries far less than the flat root.
+        assert_eq!(flat.bytes, ring.bytes);
+        assert!(ring.sender_imbalance() < flat.sender_imbalance());
+        assert!(ring.reconciles() && flat.reconciles());
+    }
+
+    #[test]
+    fn halving_allreduce_sums_within_rounding() {
+        for world in [2usize, 4, 8] {
+            for len in [1usize, 5, 64] {
+                let out = Cluster::run(world, |ctx| {
+                    let mut buf = skewed(ctx.rank(), len);
+                    ctx.try_allreduce_sum_with(&mut buf, AllreduceAlgo::Halving)
+                        .unwrap();
+                    buf
+                })
+                .unwrap();
+                let mut expect = vec![0.0f64; len];
+                for r in 0..world {
+                    for (e, x) in expect.iter_mut().zip(skewed(r, len)) {
+                        *e += x;
+                    }
+                }
+                for buf in out {
+                    for (got, want) in buf.iter().zip(&expect) {
+                        assert!(
+                            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                            "world {world}, len {len}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halving_on_non_power_of_two_falls_back_to_ring() {
+        let out = Cluster::run(3, |ctx| {
+            let mut buf = vec![ctx.rank() as f64 + 1.0; 4];
+            ctx.try_allreduce_sum_with(&mut buf, AllreduceAlgo::Halving)
+                .unwrap();
+            buf
+        })
+        .unwrap();
+        for buf in out {
+            assert_eq!(buf, vec![6.0; 4]);
+        }
+    }
+
+    #[test]
+    fn auto_allreduce_matches_flat_results() {
+        let out = Cluster::run(4, |ctx| {
+            // Big enough that Auto resolves to Ring at 4 workers.
+            let mut buf = skewed(ctx.rank(), 2048);
+            ctx.try_allreduce_sum_with(&mut buf, AllreduceAlgo::Auto)
+                .unwrap();
+            let mut small = vec![ctx.rank() as f64];
+            ctx.try_allreduce_sum_with(&mut small, AllreduceAlgo::Auto)
+                .unwrap();
+            (buf, small[0])
+        })
+        .unwrap();
+        let reference = Cluster::run(4, |ctx| {
+            let mut buf = skewed(ctx.rank(), 2048);
+            ctx.allreduce_sum(&mut buf);
+            buf
+        })
+        .unwrap();
+        for ((buf, scalar), flat) in out.iter().zip(&reference) {
+            assert_eq!(buf, flat);
+            assert_eq!(*scalar, 6.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_length_disagreement_aborts_ring_and_halving() {
+        for algo in [AllreduceAlgo::Ring, AllreduceAlgo::Halving] {
+            let err = Cluster::try_run(4, move |ctx| {
+                let len = if ctx.rank() == 2 { 8 } else { 10 };
+                let mut buf = vec![1.0; len];
+                ctx.try_allreduce_sum_with(&mut buf, algo)?;
+                Ok(())
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, ClusterError::SizeMismatch { .. }),
+                "{algo:?} must surface a typed mismatch, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn posted_exchange_overlaps_and_matches_combined() {
+        let out = Cluster::run(3, |ctx| {
+            let outgoing: Vec<Payload> = (0..3)
+                .map(|d| Payload::U64(vec![(100 * ctx.rank() + d) as u64]))
+                .collect();
+            let pending = ctx.post_exchange(outgoing).unwrap();
+            // Local "compute" while the messages are in flight.
+            let local: u64 = (0..100).sum();
+            let incoming = ctx.complete_exchange(pending).unwrap();
+            (
+                local,
+                incoming
+                    .into_iter()
+                    .map(|p| p.into_u64()[0])
+                    .collect::<Vec<u64>>(),
+            )
+        })
+        .unwrap();
+        assert_eq!(out[0].1, vec![0, 100, 200]);
+        assert_eq!(out[1].1, vec![1, 101, 201]);
+        assert_eq!(out[2].1, vec![2, 102, 202]);
+    }
+
+    #[test]
+    fn two_posted_exchanges_in_flight_do_not_cross() {
+        // Post two exchanges back-to-back, complete them out of order
+        // relative to their posting — tags keep the payloads apart.
+        let out = Cluster::run(2, |ctx| {
+            let first: Vec<Payload> = (0..2).map(|d| Payload::U64(vec![d as u64])).collect();
+            let second: Vec<Payload> = (0..2).map(|d| Payload::U64(vec![10 + d as u64])).collect();
+            let p1 = ctx.post_exchange(first).unwrap();
+            let p2 = ctx.post_exchange(second).unwrap();
+            let got2 = ctx.complete_exchange(p2).unwrap();
+            let got1 = ctx.complete_exchange(p1).unwrap();
+            (
+                got1.into_iter()
+                    .map(|p| p.into_u64()[0])
+                    .collect::<Vec<_>>(),
+                got2.into_iter()
+                    .map(|p| p.into_u64()[0])
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .unwrap();
+        for (r, (g1, g2)) in out.into_iter().enumerate() {
+            assert_eq!(g1, vec![r as u64, r as u64]);
+            assert_eq!(g2, vec![10 + r as u64, 10 + r as u64]);
+        }
+    }
+
+    #[test]
+    fn framed_exchange_accounts_logical_and_wire_bytes() {
+        use crate::wire::{decode_rows, maybe_compress, CommPolicy};
+        let rows: Vec<u32> = (0..32).collect();
+        let policy = CommPolicy::default().with_downcast_f32(true);
+        let (_, stats) = Cluster::run_with_stats(2, move |ctx| {
+            let values: Vec<f64> = (0..rows.len() * 4).map(|i| i as f64 * 0.5).collect();
+            let (frame, meta) = maybe_compress(&rows, &values, &policy).expect("frame wins");
+            let me = ctx.rank();
+            let outgoing: Vec<Framed> = (0..2)
+                .map(|d| {
+                    if d == me {
+                        Framed::plain(Payload::Empty)
+                    } else {
+                        Framed::compressed(Payload::Bytes(frame.clone()), meta)
+                    }
+                })
+                .collect();
+            let pending = ctx.post_exchange_framed(outgoing).unwrap();
+            let incoming = ctx.complete_exchange(pending).unwrap();
+            let mut pool = crate::comm::BufferPool::new(false);
+            let got = decode_rows(
+                incoming.into_iter().nth(1 - me).unwrap(),
+                1 - me,
+                &rows,
+                4,
+                &mut pool,
+            )
+            .unwrap();
+            for (g, w) in got.iter().zip(&values) {
+                assert_eq!(*g, *w as f32 as f64);
+            }
+        })
+        .unwrap();
+        // Logical bytes: two remote messages of 32 rows × rank 4 × 8 bytes.
+        assert_eq!(stats.bytes, 2 * 32 * 4 * 8);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.compressed_logical_bytes, stats.bytes);
+        assert!(stats.compressed_bytes < stats.compressed_logical_bytes);
+        assert_eq!(stats.downcast_rows, 2 * 32);
+        assert!(stats.wire_bytes() < stats.bytes);
+        assert!(stats.compression_ratio() > 1.5);
+        assert!(stats.reconciles());
     }
 
     // ---- fault-path tests ------------------------------------------------

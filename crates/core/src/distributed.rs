@@ -29,7 +29,8 @@ use crate::config::DecompConfig;
 use crate::dtd::{converged, init_factors};
 use crate::loss::{dtd_loss, GramState, LossParts};
 use dismastd_cluster::{
-    BufferPool, Cluster, ClusterOptions, ClusterResult, CommStatsSnapshot, Payload, WorkerCtx,
+    decode_rows, maybe_compress, BufferPool, Cluster, ClusterOptions, ClusterResult, CommPolicy,
+    CommStatsSnapshot, Framed, Payload, PendingExchange, WorkerCtx,
 };
 use dismastd_obs::MetricsSnapshot;
 use dismastd_partition::{CellAssignment, GridPartition, Partitioner};
@@ -48,7 +49,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cluster-side configuration: worker count and partitioning strategy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ClusterConfig {
     /// Number of simulated worker nodes `M`.
     pub workers: usize,
@@ -65,6 +66,32 @@ pub struct ClusterConfig {
     /// are bit-identical either way; the flag exists as a baseline for
     /// benchmarks and the accounting-invariance test.
     pub pooling: bool,
+    /// Collective-layer policy: frame compression, the opt-in f32 row
+    /// downcast (gated on the divergence watchdog), and the allreduce
+    /// algorithm for the Gram reductions.  The default is seed-safe: with
+    /// `downcast_f32` off the factors are bit-identical to the flat path.
+    pub comm: CommPolicy,
+}
+
+// Hand-written so checkpoints from before the collective-layer rework —
+// which lack the `comm` field — still restore (the field defaults).
+impl Deserialize for ClusterConfig {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::new("expected object for `ClusterConfig`"))?;
+        Ok(ClusterConfig {
+            workers: Deserialize::from_value(serde::field(obj, "workers")?)?,
+            partitioner: Deserialize::from_value(serde::field(obj, "partitioner")?)?,
+            parts_per_mode: Deserialize::from_value(serde::field(obj, "parts_per_mode")?)?,
+            cell_assignment: Deserialize::from_value(serde::field(obj, "cell_assignment")?)?,
+            pooling: Deserialize::from_value(serde::field(obj, "pooling")?)?,
+            comm: match serde::field(obj, "comm") {
+                Ok(nested) => Deserialize::from_value(nested)?,
+                Err(_) => CommPolicy::default(),
+            },
+        })
+    }
 }
 
 impl ClusterConfig {
@@ -76,12 +103,20 @@ impl ClusterConfig {
             parts_per_mode: None,
             cell_assignment: CellAssignment::BlockGrid,
             pooling: true,
+            comm: CommPolicy::default(),
         }
     }
 
     /// Selects the cell→worker placement strategy.
     pub fn with_cell_assignment(mut self, a: CellAssignment) -> Self {
         self.cell_assignment = a;
+        self
+    }
+
+    /// Selects the collective-layer policy (compression, downcast,
+    /// allreduce algorithm).
+    pub fn with_comm(mut self, comm: CommPolicy) -> Self {
+        self.comm = comm;
         self
     }
 
@@ -364,6 +399,13 @@ fn run_distributed(
             "cluster needs at least one worker".into(),
         ));
     }
+    if cluster.comm.downcast_f32 && !cfg.numerics.allows_lossy_comm() {
+        return Err(TensorError::InvalidArgument(
+            "comm.downcast_f32 is lossy and requires the divergence watchdog \
+             (numerics.watchdog.enabled) so a destabilised step can be rolled back"
+                .into(),
+        ));
+    }
     // lint:allow(determinism): elapsed-time reporting only
     let start = Instant::now();
     let order = tensor.order();
@@ -412,6 +454,7 @@ fn run_distributed(
     // ---- Distributed tensor decomposition (Sec. IV-B) -------------------
     let cfg = *cfg;
     let pooling = cluster.pooling;
+    let comm_policy = cluster.comm;
     let old_rows_arc = Arc::new(old_rows.clone());
     // Worker threads have their own thread-local metric registries, so each
     // rank decides up front — from the driver's state — whether to collect.
@@ -427,6 +470,7 @@ fn run_distributed(
             old_norm_sq,
             tensor_norm_sq,
             pooling,
+            comm_policy,
             collect,
         )
     })
@@ -572,6 +616,15 @@ impl GramWorkspace {
     }
 }
 
+/// A posted-but-uncompleted refresh exchange: mode `n`'s updated factor
+/// rows are in flight while the next mode's MTTKRP runs.  The fence at the
+/// top of the next mode (or the post-loop drain) completes it and writes
+/// the rows before anything reads `factors[mode]` remotely-owned entries.
+struct PendingRefresh {
+    mode: usize,
+    pending: PendingExchange,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_body(
     ctx: &mut WorkerCtx,
@@ -583,6 +636,7 @@ fn worker_body(
     old_norm_sq: f64,
     tensor_norm_sq: f64,
     pooling: bool,
+    comm: CommPolicy,
     collect: bool,
 ) -> ClusterResult<std::result::Result<WorkerResult, TensorError>> {
     // Per-thread collector: on any early-return path (cluster fault or a
@@ -623,7 +677,7 @@ fn worker_body(
                 &plan.owned_rows[n],
                 old_rows[n],
             );
-            allreduce_grams(ctx, &mut ws, &mut state, n)?;
+            allreduce_grams(ctx, &mut ws, &mut state, n, comm)?;
         }
     }
 
@@ -636,9 +690,21 @@ fn worker_body(
         hat[n] = Matrix::zeros(factors[n].rows(), r);
     }
 
+    // The refresh exchange posted by the previous mode, completed lazily at
+    // the top of the next mode (mode-pipelined overlap: the send is on the
+    // wire while this mode's MTTKRP runs).
+    let mut pending_refresh: Option<PendingRefresh> = None;
+
     for _iter in 0..cfg.max_iters {
         let mut inner_partial = 0.0;
         for n in 0..order {
+            // -- fence: land the previous mode's refreshed rows ------------
+            // MTTKRP below reads every factor, so the in-flight rows of the
+            // previously updated mode must be written before the kernels run.
+            if let Some(pr) = pending_refresh.take() {
+                complete_refresh(ctx, pr, plan, &mut factors, r, &mut pool)?;
+            }
+
             // -- 1. local MTTKRP partials over this worker's nonzeros -----
             // Cached cell layouts: each plan accumulates its run totals
             // into `hat[n]`, touching every output row once per cell.
@@ -651,27 +717,21 @@ fn worker_body(
             }
 
             // -- route partials to row owners ------------------------------
-            {
+            // Post only: the sends overlap the decision broadcast and the
+            // factorizations below, which depend on the Gram state alone.
+            let pending_partials = {
                 let _s = dismastd_obs::span("phase/exchange");
-                let outgoing: Vec<Payload> = (0..world)
+                let outgoing: Vec<Framed> = (0..world)
                     .map(|d| {
                         if d == me {
-                            Payload::Empty
+                            Framed::plain(Payload::Empty)
                         } else {
-                            Payload::F64(pack_rows(&hat[n], &plan.partial_routes[n][d], &mut pool))
+                            encode_outgoing(&hat[n], &plan.partial_routes[n][d], &comm, &mut pool)
                         }
                     })
                     .collect();
-                let incoming = ctx.try_exchange(outgoing)?;
-                for (d, payload) in incoming.into_iter().enumerate() {
-                    if d == me {
-                        continue;
-                    }
-                    let data = payload.try_into_f64()?;
-                    add_rows(&mut hat[n], &plan.serve_routes[n][d], &data);
-                    pool.put(data);
-                }
-            }
+                ctx.post_exchange_framed(outgoing)?
+            };
 
             // -- 2. owners update their rows (Eq. 5, row-wise) -------------
             let solve_span = dismastd_obs::span("phase/solve");
@@ -733,6 +793,20 @@ fn worker_body(
                 None => None,
             };
 
+            // -- land the peers' partials before the row solves ------------
+            {
+                let _s = dismastd_obs::span("phase/exchange");
+                let incoming = ctx.complete_exchange(pending_partials)?;
+                for (d, payload) in incoming.into_iter().enumerate() {
+                    if d == me {
+                        continue;
+                    }
+                    let data = decode_rows(payload, d, &plan.serve_routes[n][d], r, &mut pool)?;
+                    add_rows(&mut hat[n], &plan.serve_routes[n][d], &data);
+                    pool.put(data);
+                }
+            }
+
             let cross_had = try_num!(hadamard_skip(&state.cross, n));
             let mut row_buf = vec![0.0f64; r];
             for &row in &plan.owned_rows[n] {
@@ -765,37 +839,33 @@ fn worker_body(
             drop(solve_span);
 
             // -- ship refreshed rows back to referencing workers ------------
-            {
+            // Post only: the Gram rebuild and (on the final mode) the loss
+            // inner product read exclusively owned rows, which are already
+            // fresh locally, so the exchange stays in flight until the next
+            // mode's fence.
+            debug_assert!(pending_refresh.is_none());
+            pending_refresh = {
                 let _s = dismastd_obs::span("phase/exchange");
-                let outgoing: Vec<Payload> = (0..world)
+                let outgoing: Vec<Framed> = (0..world)
                     .map(|d| {
                         if d == me {
-                            Payload::Empty
+                            Framed::plain(Payload::Empty)
                         } else {
-                            Payload::F64(pack_rows(
-                                &factors[n],
-                                &plan.serve_routes[n][d],
-                                &mut pool,
-                            ))
+                            encode_outgoing(&factors[n], &plan.serve_routes[n][d], &comm, &mut pool)
                         }
                     })
                     .collect();
-                let incoming = ctx.try_exchange(outgoing)?;
-                for (d, payload) in incoming.into_iter().enumerate() {
-                    if d == me {
-                        continue;
-                    }
-                    let data = payload.try_into_f64()?;
-                    write_rows(&mut factors[n], &plan.partial_routes[n][d], &data);
-                    pool.put(data);
-                }
-            }
+                Some(PendingRefresh {
+                    mode: n,
+                    pending: ctx.post_exchange_framed(outgoing)?,
+                })
+            };
 
             // -- 3. rebuild the RxR products by all-reduce ------------------
             {
                 let _s = dismastd_obs::span("phase/gram");
                 local_gram_partials(&mut ws, &factors[n], &old[n], &plan.owned_rows[n], old_n);
-                allreduce_grams(ctx, &mut ws, &mut state, n)?;
+                allreduce_grams(ctx, &mut ws, &mut state, n, comm)?;
             }
 
             // -- 4. loss reuse: data inner product from the final mode -----
@@ -829,6 +899,11 @@ fn worker_body(
             break;
         }
     }
+    // Drain the final mode's in-flight refresh (the convergence break can
+    // leave it posted) so every sent row is received before the gather.
+    if let Some(pr) = pending_refresh.take() {
+        complete_refresh(ctx, pr, plan, &mut factors, r, &mut pool)?;
+    }
     let iter_elapsed = iter_start.elapsed();
 
     // Solve tiers mirror the broadcast decisions every rank applied, so
@@ -860,6 +935,46 @@ fn worker_body(
         numerics,
         metrics: collector.map(dismastd_obs::Collector::finish),
     }))
+}
+
+/// Packs the listed rows of `m` into an exchange payload, compressing the
+/// frame when the policy's encoder beats the flat `f64` representation
+/// (see `dismastd_cluster::maybe_compress`).  The compressed path returns
+/// the staging buffer to the pool immediately; the flat path ships it.
+fn encode_outgoing(m: &Matrix, rows: &[u32], policy: &CommPolicy, pool: &mut BufferPool) -> Framed {
+    let values = pack_rows(m, rows, pool);
+    match maybe_compress(rows, &values, policy) {
+        Some((frame, meta)) => {
+            pool.put(values);
+            Framed::compressed(Payload::Bytes(frame), meta)
+        }
+        None => Framed::plain(Payload::F64(values)),
+    }
+}
+
+/// Completes a posted refresh exchange: receives every peer's refreshed
+/// mode-`pr.mode` rows and writes them into the replicated factor copy.
+fn complete_refresh(
+    ctx: &mut WorkerCtx,
+    pr: PendingRefresh,
+    plan: &WorkerPlan,
+    factors: &mut [Matrix],
+    r: usize,
+    pool: &mut BufferPool,
+) -> ClusterResult<()> {
+    let _s = dismastd_obs::span("phase/exchange");
+    let me = ctx.rank();
+    let n = pr.mode;
+    let incoming = ctx.complete_exchange(pr.pending)?;
+    for (d, payload) in incoming.into_iter().enumerate() {
+        if d == me {
+            continue;
+        }
+        let data = decode_rows(payload, d, &plan.partial_routes[n][d], r, pool)?;
+        write_rows(&mut factors[n], &plan.partial_routes[n][d], &data);
+        pool.put(data);
+    }
+    Ok(())
 }
 
 /// Packs the listed rows of `m` into one contiguous buffer drawn from the
@@ -947,6 +1062,7 @@ fn allreduce_grams(
     ws: &mut GramWorkspace,
     state: &mut GramState,
     n: usize,
+    comm: CommPolicy,
 ) -> ClusterResult<()> {
     let r = ws.g0.rows();
     let rr = r * r;
@@ -954,7 +1070,7 @@ fn allreduce_grams(
     ws.buf.extend_from_slice(ws.g0.as_slice());
     ws.buf.extend_from_slice(ws.g1.as_slice());
     ws.buf.extend_from_slice(ws.cr.as_slice());
-    ctx.try_allreduce_sum(&mut ws.buf)?;
+    ctx.try_allreduce_sum_with(&mut ws.buf, comm.allreduce)?;
     state.gram0[n]
         .as_mut_slice()
         .copy_from_slice(&ws.buf[0..rr]);
@@ -1131,6 +1247,7 @@ mod tests {
     use super::*;
     use crate::als::cp_als;
     use crate::dtd::dtd;
+    use dismastd_cluster::AllreduceAlgo;
     use rand::Rng;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -1301,9 +1418,108 @@ mod tests {
                 parts_per_mode: None,
                 cell_assignment: CellAssignment::BlockGrid,
                 pooling: true,
+                comm: CommPolicy::default(),
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn ring_allreduce_policy_is_bit_identical_to_flat() {
+        // The ring rebuilds the Gram sums in the same per-element order as
+        // the flat gather+broadcast, so switching the algorithm must not
+        // move a single bit of the trajectory.  Logical traffic is also
+        // identical — only message/collective counts differ.
+        let x = random_tensor(&[8, 8, 6], 120, 21);
+        let flat = dms_mg(
+            &x,
+            &cfg(),
+            &ClusterConfig::new(4).with_comm(CommPolicy::flat()),
+        )
+        .unwrap();
+        let ring = dms_mg(
+            &x,
+            &cfg(),
+            &ClusterConfig::new(4)
+                .with_comm(CommPolicy::default().with_allreduce(AllreduceAlgo::Ring)),
+        )
+        .unwrap();
+        assert_eq!(flat.loss_trace, ring.loss_trace);
+        for (a, b) in flat.kruskal.factors().iter().zip(ring.kruskal.factors()) {
+            assert_eq!(a.max_abs_diff(b).unwrap(), 0.0);
+        }
+        assert_eq!(flat.comm.bytes, ring.comm.bytes);
+        // Downcast is off, so no frame can beat flat f64: the wire is the
+        // logical traffic on both sides.
+        assert_eq!(flat.comm.compressed_bytes, 0);
+        assert_eq!(ring.comm.compressed_bytes, 0);
+        assert!(flat.comm.reconciles() && ring.comm.reconciles());
+    }
+
+    #[test]
+    fn downcast_compresses_the_exchanges() {
+        let x = random_tensor(&[8, 8, 6], 120, 21);
+        let flat = dms_mg(
+            &x,
+            &cfg(),
+            &ClusterConfig::new(4).with_comm(CommPolicy::flat()),
+        )
+        .unwrap();
+        let lossy = dms_mg(
+            &x,
+            &cfg(),
+            &ClusterConfig::new(4).with_comm(CommPolicy::default().with_downcast_f32(true)),
+        )
+        .unwrap();
+        // Accounting stays in logical (flat-equivalent) bytes, so the two
+        // runs agree there; the savings land in the wire counters.
+        assert_eq!(flat.comm.bytes, lossy.comm.bytes);
+        assert!(lossy.comm.compressed_bytes > 0);
+        assert!(lossy.comm.downcast_rows > 0);
+        assert!(lossy.comm.wire_bytes() < lossy.comm.bytes);
+        assert!(lossy.comm.compression_ratio() > 1.0);
+        assert!(lossy.comm.reconciles());
+        // f32 mantissas perturb the trajectory but not the fixed point the
+        // solver is homing in on.
+        let (a, b) = (
+            flat.loss_trace.last().unwrap(),
+            lossy.loss_trace.last().unwrap(),
+        );
+        assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn downcast_requires_the_watchdog() {
+        use crate::config::WatchdogPolicy;
+        let x = random_tensor(&[6, 6], 30, 22);
+        let no_watchdog = cfg().with_numerics(
+            crate::config::NumericsPolicy::default().with_watchdog(WatchdogPolicy {
+                enabled: false,
+                ..WatchdogPolicy::default()
+            }),
+        );
+        let err = dms_mg(
+            &x,
+            &no_watchdog,
+            &ClusterConfig::new(2).with_comm(CommPolicy::default().with_downcast_f32(true)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TensorError::InvalidArgument(_)), "{err:?}");
+    }
+
+    #[test]
+    fn legacy_cluster_config_json_decodes_without_comm_field() {
+        // Checkpoints from before the collective-layer rework serialized no
+        // `comm` field; they must restore with the default policy.
+        let reference = ClusterConfig::new(3);
+        let full = serde_json::to_string(&reference).unwrap();
+        let cut = full.find(",\"comm\"").expect("comm is serialized");
+        let legacy = format!("{}}}", &full[..cut]);
+        let back: ClusterConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, reference);
+        // And the current format round-trips unchanged.
+        let rt: ClusterConfig = serde_json::from_str(&full).unwrap();
+        assert_eq!(rt, reference);
     }
 
     #[test]

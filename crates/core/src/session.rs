@@ -385,6 +385,11 @@ impl StreamingSession {
         self.step
     }
 
+    /// The execution mode the session decomposes with.
+    pub fn mode(&self) -> &ExecutionMode {
+        &self.mode
+    }
+
     /// Predicted value at `idx` under the current model —
     /// `Σ_f Π_k A_k[i_k, f]` (e.g. a predicted rating in the paper's
     /// recommendation scenario).
@@ -944,6 +949,32 @@ mod tests {
             .zip(restored.factors().unwrap().factors())
         {
             assert_eq!(fa.max_abs_diff(fb).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_without_comm_policy_still_restores() {
+        // A distributed checkpoint serialized before the collective-layer
+        // rework carries a ClusterConfig with no `comm` field; restoring it
+        // must succeed with the default policy rather than fail.
+        let (s0, _) = snapshot_pair();
+        let mut sess =
+            StreamingSession::new(cfg(), ExecutionMode::Distributed(ClusterConfig::new(2)));
+        sess.ingest(&s0).unwrap();
+        let json = serde_json::to_string(&sess.to_checkpoint()).unwrap();
+        let comm_field = format!(
+            ",\"comm\":{}",
+            serde_json::to_string(&dismastd_cluster::CommPolicy::default()).unwrap()
+        );
+        assert!(json.contains(&comm_field), "comm policy serialized");
+        let legacy = json.replace(&comm_field, "");
+        let ckpt: SessionCheckpoint = serde_json::from_str(&legacy).unwrap();
+        let restored = StreamingSession::from_checkpoint(ckpt).unwrap();
+        match restored.mode() {
+            ExecutionMode::Distributed(cc) => {
+                assert_eq!(cc.comm, dismastd_cluster::CommPolicy::default());
+            }
+            other => panic!("expected distributed mode, got {other:?}"),
         }
     }
 

@@ -28,11 +28,17 @@
 
 /// Registered span names (scoped timers).
 pub const SPANS: &[&str] = &[
-    // comm family: one span per collective primitive.
+    // comm family: one span per collective primitive; the allreduce_*
+    // algorithm spans and the exchange post/wait halves nest inside their
+    // parent primitive's span.
     "comm/allreduce",
+    "comm/allreduce_halving",
+    "comm/allreduce_ring",
     "comm/barrier",
     "comm/broadcast",
     "comm/exchange",
+    "comm/exchange_post",
+    "comm/exchange_wait",
     "comm/gather",
     // kernel family: MTTKRP kernels and plan construction.
     "kernel/mttkrp_naive",
@@ -54,6 +60,10 @@ pub const SPANS: &[&str] = &[
 
 /// Registered counter names (monotone event tallies).
 pub const COUNTERS: &[&str] = &[
+    // comm family: wire size of compressed frames and rows downcast to
+    // f32 (logical sizes stay in the comm/msg_bytes histogram).
+    "comm/compressed_bytes",
+    "comm/downcast_rows",
     "ingest/quarantined",
     "plan/cache_hit",
     "plan/rebuild",
@@ -67,7 +77,11 @@ pub const COUNTERS: &[&str] = &[
 pub const GAUGES: &[&str] = &[];
 
 /// Registered histogram names (log₂-bucketed distributions).
-pub const HISTOGRAMS: &[&str] = &["comm/msg_bytes"];
+/// `comm/msg_bytes` records every remote message at its *logical*
+/// (flat-equivalent) size, so it reconciles exactly with
+/// `CommStats::bytes` whether or not compression fired;
+/// `comm/wire_bytes` records compressed frames at their encoded size.
+pub const HISTOGRAMS: &[&str] = &["comm/msg_bytes", "comm/wire_bytes"];
 
 /// Instrument kind, used to select the table a name must resolve in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

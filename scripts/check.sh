@@ -22,6 +22,9 @@ cargo test -q -p dismastd-integration-tests --test numerics_robustness --test fa
 echo "==> example smoke run (miniature end-to-end pipeline)"
 DISMASTD_SMOKE=1 cargo run -q --release -p dismastd-examples --bin quickstart > /dev/null
 
+echo "==> collectives smoke (allreduce algos + comm policies -> bench_results/collectives.json)"
+cargo run -q --release -p dismastd-bench --bin collectives_smoke > /dev/null
+
 echo "==> invariant lints (dismastd-xtask: panic-path, determinism, span-taxonomy, error-hygiene)"
 # Replaces the old sed/grep panic audits, which hand-listed files and
 # stopped reading at the first inline test module.  The xtask lexes every

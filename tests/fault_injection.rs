@@ -8,7 +8,9 @@
 //! 2. the same crash without recovery surfaces a typed error promptly —
 //!    no deadlock, no timeout-backstop wait.
 
-use dismastd_cluster::{Cluster, ClusterError, ClusterOptions, FaultPlan, Payload};
+use dismastd_cluster::{
+    AllreduceAlgo, Cluster, ClusterError, ClusterOptions, CommPolicy, FaultPlan, Payload,
+};
 use dismastd_core::{ClusterConfig, DecompConfig, ExecutionMode, RecoveryPolicy, StreamingSession};
 use dismastd_tensor::{SparseTensor, SparseTensorBuilder, TensorError};
 use rand::Rng;
@@ -298,6 +300,191 @@ fn recovery_gives_up_once_the_retry_budget_is_exhausted() {
     sess.set_cluster_options(ClusterOptions::default());
     let report = sess.ingest(&s1).unwrap();
     assert!(!report.cold_start);
+}
+
+// ---- collective-layer chaos ----------------------------------------------
+
+#[test]
+fn masked_chaos_with_ring_and_compression_matches_a_clean_flat_run() {
+    // Three invariances at once: masked faults (drops/dups/delays), the
+    // ring allreduce, and the compression path with downcast off must all
+    // leave the trajectory bit-identical to a clean flat-policy run.
+    let (s0, s1) = snapshot_pair();
+    let flat_mode = ExecutionMode::Distributed(ClusterConfig::new(3).with_comm(CommPolicy::flat()));
+    let ring_mode = ExecutionMode::Distributed(
+        ClusterConfig::new(3).with_comm(CommPolicy::default().with_allreduce(AllreduceAlgo::Ring)),
+    );
+
+    let mut clean = StreamingSession::new(cfg(), flat_mode);
+    clean.ingest(&s0).unwrap();
+    clean.ingest(&s1).unwrap();
+
+    let plan = Arc::new(
+        FaultPlan::seeded(42)
+            .with_message_drops(120)
+            .with_duplicates(80)
+            .with_delays(100, Duration::from_micros(200))
+            .with_retransmit_delay(Duration::from_micros(100)),
+    );
+    let mut chaos = StreamingSession::new(cfg(), ring_mode);
+    chaos.set_cluster_options(ClusterOptions::default().with_fault_plan(plan));
+    chaos.ingest(&s0).unwrap();
+    let report = chaos.ingest(&s1).unwrap();
+
+    for (a, b) in clean
+        .factors()
+        .unwrap()
+        .factors()
+        .iter()
+        .zip(chaos.factors().unwrap().factors())
+    {
+        assert_eq!(
+            a.max_abs_diff(b).unwrap(),
+            0.0,
+            "ring + compression + masked chaos must not move a bit"
+        );
+    }
+    let comm = report.comm.expect("distributed step reports comm");
+    assert!(comm.reconciles());
+    assert!(comm.retransmits > 0, "the chaos plan really fired");
+    // Downcast is off, so no frame beat the flat payload: wire == logical.
+    assert_eq!(comm.compressed_bytes, 0);
+    assert_eq!(comm.wire_bytes(), comm.bytes);
+}
+
+#[test]
+fn crash_recovery_under_ring_policy_stays_bit_identical() {
+    // A worker crash while a posted (overlapped) exchange is still in
+    // flight: the abort must fan out, recovery must replay, and the result
+    // must match the clean run under the same policy bit for bit.
+    let (s0, s1) = snapshot_pair();
+    let ring_mode = ExecutionMode::Distributed(
+        ClusterConfig::new(3).with_comm(CommPolicy::default().with_allreduce(AllreduceAlgo::Ring)),
+    );
+
+    let mut clean = StreamingSession::new(cfg(), ring_mode.clone());
+    clean.ingest(&s0).unwrap();
+    clean.ingest(&s1).unwrap();
+
+    // The ring collapses each allreduce to one sequence number (flat takes
+    // two), so the crash index differs from `mid_step_crash`: seq 5 lands
+    // inside the first iteration's solve/exchange window, after the mode-0
+    // partial exchange has been posted.
+    let plan = Arc::new(FaultPlan::seeded(11).crash_worker_at_collective_times(1, 5, 1));
+    let mut chaos = StreamingSession::new(cfg(), ring_mode);
+    chaos.ingest(&s0).unwrap();
+    chaos.set_cluster_options(ClusterOptions::default().with_fault_plan(Arc::clone(&plan)));
+    let report = chaos
+        .ingest_with_recovery(&s1, &RecoveryPolicy::default())
+        .unwrap();
+
+    assert_eq!(report.retries, 1, "exactly one replay after the crash");
+    assert_eq!(plan.remaining_crashes(), 0);
+    for (a, b) in clean
+        .factors()
+        .unwrap()
+        .factors()
+        .iter()
+        .zip(chaos.factors().unwrap().factors())
+    {
+        assert_eq!(a.max_abs_diff(b).unwrap(), 0.0);
+    }
+}
+
+#[test]
+fn masked_chaos_does_not_perturb_the_lossy_downcast_path() {
+    // Even the lossy f32 path must be deterministic: masked faults change
+    // the wire schedule but never which bits arrive.
+    let (s0, s1) = snapshot_pair();
+    let mode = ExecutionMode::Distributed(
+        ClusterConfig::new(3).with_comm(CommPolicy::default().with_downcast_f32(true)),
+    );
+
+    let mut clean = StreamingSession::new(cfg(), mode.clone());
+    clean.ingest(&s0).unwrap();
+    clean.ingest(&s1).unwrap();
+
+    let plan = Arc::new(
+        FaultPlan::seeded(17)
+            .with_message_drops(150)
+            .with_duplicates(90),
+    );
+    let mut chaos = StreamingSession::new(cfg(), mode);
+    chaos.set_cluster_options(ClusterOptions::default().with_fault_plan(plan));
+    chaos.ingest(&s0).unwrap();
+    chaos.ingest(&s1).unwrap();
+
+    for (a, b) in clean
+        .factors()
+        .unwrap()
+        .factors()
+        .iter()
+        .zip(chaos.factors().unwrap().factors())
+    {
+        assert_eq!(a.max_abs_diff(b).unwrap(), 0.0);
+    }
+    let (c, f) = (clean.comm_totals(), chaos.comm_totals());
+    assert!(c.compressed_bytes > 0, "downcast produced frames");
+    assert_eq!(c.bytes, f.bytes);
+    assert_eq!(c.compressed_bytes, f.compressed_bytes);
+    assert_eq!(c.downcast_rows, f.downcast_rows);
+    assert!(f.reconciles());
+    assert!(f.retransmits > 0, "the chaos plan really fired");
+}
+
+#[test]
+fn checkpoint_round_trips_compression_counters() {
+    let (s0, s1) = snapshot_pair();
+    let mode = ExecutionMode::Distributed(
+        ClusterConfig::new(3).with_comm(CommPolicy::default().with_downcast_f32(true)),
+    );
+    let mut sess = StreamingSession::new(cfg(), mode);
+    sess.ingest(&s0).unwrap();
+    sess.ingest(&s1).unwrap();
+    let totals = sess.comm_totals();
+    assert!(totals.compressed_bytes > 0);
+    assert!(totals.downcast_rows > 0);
+    assert!(totals.wire_bytes() < totals.bytes);
+    assert!(totals.reconciles());
+
+    let path = std::env::temp_dir().join("dismastd_collectives_ckpt.json");
+    sess.checkpoint(&path).unwrap();
+    let restored = StreamingSession::restore(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored.comm_totals(), totals);
+    match restored.mode() {
+        ExecutionMode::Distributed(cc) => assert!(cc.comm.downcast_f32),
+        other => panic!("expected distributed mode, got {other:?}"),
+    }
+}
+
+#[test]
+fn frame_corruption_surfaces_as_a_typed_error_not_silent_damage() {
+    // Corruption targets the opaque byte frames (the compressed exchanges);
+    // the self-describing index block means a tampered frame is rejected
+    // with a typed error — never decoded into wrong values.
+    let (s0, s1) = snapshot_pair();
+    let mode = ExecutionMode::Distributed(
+        ClusterConfig::new(3).with_comm(CommPolicy::default().with_downcast_f32(true)),
+    );
+    let mut sess = StreamingSession::new(cfg(), mode);
+    sess.ingest(&s0).unwrap();
+    let steps_before = sess.steps();
+    sess.set_cluster_options(
+        ClusterOptions::default()
+            .with_fault_plan(Arc::new(FaultPlan::seeded(23).with_corruption(500))),
+    );
+
+    let started = Instant::now();
+    let err = sess.ingest(&s1).unwrap_err();
+    assert!(matches!(err, TensorError::ClusterFault(_)), "{err:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(15),
+        "corruption abort must beat the receive deadline; took {:?}",
+        started.elapsed()
+    );
+    // The poisoned step committed nothing.
+    assert_eq!(sess.steps(), steps_before);
 }
 
 #[test]

@@ -129,7 +129,15 @@ fn distributed_metrics_cover_the_wall_clock() {
             m.to_text()
         );
     }
-    for comm in ["comm/exchange", "comm/broadcast", "comm/allreduce"] {
+    // The overlapped collective layer splits each exchange into a post and
+    // a wait half; the combined `comm/exchange` span only appears on the
+    // non-overlapped path.
+    for comm in [
+        "comm/exchange_post",
+        "comm/exchange_wait",
+        "comm/broadcast",
+        "comm/allreduce",
+    ] {
         assert!(m.span_total_ns(comm) > 0, "{comm} missing");
     }
 
