@@ -22,18 +22,22 @@
 //! primitive has a fallible `try_*` variant, and deterministic chaos can be
 //! injected via a seeded [`FaultPlan`] through [`ClusterOptions`].
 
+pub mod clock;
 pub mod comm;
 pub mod cost;
 pub mod error;
 pub mod fault;
 pub mod runtime;
+pub mod sim;
 pub mod wire;
 
+pub use clock::{Clock, RealClock, SharedClock};
 pub use comm::{BufferPool, CommStats, CommStatsSnapshot, Payload};
 pub use cost::CostModel;
 pub use error::{ClusterError, ClusterResult};
 pub use fault::FaultPlan;
 pub use runtime::{Cluster, ClusterOptions, Framed, PendingExchange, WorkerCtx};
+pub use sim::{PartitionWindow, SimOptions, SimProbe};
 pub use wire::{decode_rows, maybe_compress, AllreduceAlgo, CommPolicy, WireMeta};
 
 #[cfg(test)]

@@ -33,16 +33,17 @@
 //! injection and [`CommStats`], so logical traffic totals under chaos stay
 //! bit-identical to a fault-free run.
 
+use crate::clock::{Clock, RealClock};
 use crate::comm::{CommStats, CommStatsSnapshot, Payload};
 use crate::error::{ClusterError, ClusterResult};
 use crate::fault::{FaultPlan, MessageFate};
+use crate::sim::{SimNet, SimOptions, WaitOutcome};
 use crate::wire::{AllreduceAlgo, WireMeta};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-// lint:allow(determinism): Instant backs the receive-deadline backstop only; it never feeds factor math
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tags below this are reserved for internally sequenced collectives;
 /// user point-to-point tags are offset into the upper half.
@@ -77,7 +78,7 @@ fn loom_pause(_point: u32) {
     loom::explore::pause(_point);
 }
 
-struct Msg {
+pub(crate) struct Msg {
     src: usize,
     tag: u64,
     /// Per-sender sequence number (1-based, monotone per channel); lets
@@ -101,13 +102,32 @@ pub struct ClusterOptions {
     /// Deterministic fault schedule; `None` runs fault-free.  Shared via
     /// `Arc` so one-shot crash points stay consumed across retries.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Run under the deterministic simulator (virtual time, seeded
+    /// interleaving/latency/partitions); `None` uses real threads + clock.
+    pub sim: Option<SimOptions>,
+}
+
+/// The receive backstop: 30s unless `DISMASTD_TEST_TIMEOUT_MS` overrides
+/// it (`0` disables the deadline entirely; unparsable values fall back to
+/// the 30s default).  Test suites set a short value so failing chaos runs
+/// surface in milliseconds instead of hanging for half a minute.
+fn default_timeout_from_env() -> Option<Duration> {
+    match std::env::var("DISMASTD_TEST_TIMEOUT_MS") {
+        Ok(ms) => match ms.trim().parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => Some(Duration::from_secs(30)),
+        },
+        Err(_) => Some(Duration::from_secs(30)),
+    }
 }
 
 impl Default for ClusterOptions {
     fn default() -> Self {
         ClusterOptions {
-            default_timeout: Some(Duration::from_secs(30)),
+            default_timeout: default_timeout_from_env(),
             fault_plan: None,
+            sim: None,
         }
     }
 }
@@ -118,6 +138,7 @@ impl ClusterOptions {
         ClusterOptions {
             default_timeout: None,
             fault_plan: None,
+            sim: None,
         }
     }
 
@@ -130,6 +151,12 @@ impl ClusterOptions {
     /// Installs a fault plan.
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Runs the cluster under the deterministic simulator.
+    pub fn with_sim(mut self, sim: SimOptions) -> Self {
+        self.sim = Some(sim);
         self
     }
 }
@@ -221,6 +248,18 @@ impl Cluster {
             receivers.push(rx);
         }
 
+        // Under simulation, one SimNet serialises every worker onto a
+        // virtual clock; it doubles as the run's Clock.  Otherwise the
+        // workers share a RealClock and run genuinely concurrent.
+        let sim = opts
+            .sim
+            .as_ref()
+            .map(|s| Arc::new(SimNet::new(world, senders.clone(), s)));
+        let clock: Arc<dyn Clock> = match &sim {
+            Some(s) => Arc::clone(s) as Arc<dyn Clock>,
+            None => Arc::new(RealClock::new()),
+        };
+
         let results: Vec<ClusterResult<T>> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(world);
             for (rank, receiver) in receivers.drain(..).enumerate() {
@@ -228,6 +267,8 @@ impl Cluster {
                 let stats = Arc::clone(&stats);
                 let plan = opts.fault_plan.clone();
                 let default_timeout = opts.default_timeout;
+                let sim = sim.clone();
+                let clock = Arc::clone(&clock);
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mut ctx = WorkerCtx {
@@ -243,7 +284,14 @@ impl Cluster {
                         plan,
                         default_timeout,
                         stats,
+                        clock,
+                        sim,
                     };
+                    // Under sim: wait until every worker registered and the
+                    // scheduler hands this task the run token.
+                    if let Some(sim) = ctx.sim.clone() {
+                        sim.worker_start(rank);
+                    }
                     // Catch panics so one worker's death cannot poison the
                     // join; surviving peers are woken via the abort fan-out.
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
@@ -258,6 +306,9 @@ impl Cluster {
                             // tell everyone before going down.
                             ctx.abort_peers(err.clone());
                         }
+                    }
+                    if let Some(sim) = ctx.sim.clone() {
+                        sim.worker_done(rank);
                     }
                     result
                 }));
@@ -408,6 +459,11 @@ pub struct WorkerCtx {
     plan: Option<Arc<FaultPlan>>,
     default_timeout: Option<Duration>,
     stats: Arc<CommStats>,
+    /// Time source: real wall-clock in production, virtual under sim.
+    clock: Arc<dyn Clock>,
+    /// Set when running under the deterministic simulator; routes message
+    /// hand-off and blocking through the virtual scheduler.
+    sim: Option<Arc<SimNet>>,
 }
 
 impl WorkerCtx {
@@ -563,7 +619,8 @@ impl WorkerCtx {
             MessageFate::Delay(d) => {
                 // The simulated network holds the message; the synchronous
                 // sender models that by sleeping before handing it over.
-                std::thread::sleep(d);
+                // Virtual time under sim — the delay costs zero wall-clock.
+                self.clock.sleep(self.rank, d);
                 self.deliver(dst, tag, id, payload)
             }
             MessageFate::DropThenRetransmit => {
@@ -576,7 +633,7 @@ impl WorkerCtx {
                     .as_ref()
                     .map(|p| p.retransmit_delay())
                     .unwrap_or_default();
-                std::thread::sleep(rto);
+                self.clock.sleep(self.rank, rto);
                 self.deliver(dst, tag, id, payload)
             }
             MessageFate::Duplicate => {
@@ -616,13 +673,23 @@ impl WorkerCtx {
     }
 
     fn deliver(&self, dst: usize, tag: u64, id: u64, payload: Payload) -> ClusterResult<()> {
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            id,
+            payload,
+        };
+        if let Some(sim) = &self.sim {
+            // The virtual wire: delivery happens at a seeded future
+            // instant (later across a partition), FIFO per link.  Posts
+            // never fail — a receiver that exits before the flush turns
+            // the message into a dead letter, matched by the real wire's
+            // "send to exited worker" dead-letter semantics.
+            sim.post(self.rank, dst, msg);
+            return Ok(());
+        }
         self.senders[dst]
-            .send(Msg {
-                src: self.rank,
-                tag,
-                id,
-                payload,
-            })
+            .send(msg)
             .map_err(|_| ClusterError::PeerCrashed {
                 rank: dst,
                 cause: "inbound channel closed (worker exited)".into(),
@@ -635,12 +702,17 @@ impl WorkerCtx {
     fn send_control(&mut self, dst: usize, tag: u64) {
         loom_pause(pause_point::CONTROL_SEND);
         let id = self.fresh_msg_id();
-        let _ = self.senders[dst].send(Msg {
+        let msg = Msg {
             src: self.rank,
             tag,
             id,
             payload: Payload::Empty,
-        });
+        };
+        if let Some(sim) = &self.sim {
+            sim.post(self.rank, dst, msg);
+            return;
+        }
+        let _ = self.senders[dst].send(msg);
     }
 
     /// Fans the failure out to every peer and poisons this context.
@@ -652,14 +724,78 @@ impl WorkerCtx {
                 continue;
             }
             let id = self.fresh_msg_id();
-            let _ = self.senders[dst].send(Msg {
+            let msg = Msg {
                 src: self.rank,
                 tag: ABORT_TAG,
                 id,
                 payload: Payload::Bytes(bytes::Bytes::from(err.encode())),
-            });
+            };
+            if let Some(sim) = &self.sim {
+                sim.post(self.rank, dst, msg);
+            } else {
+                let _ = self.senders[dst].send(msg);
+            }
         }
         self.abort = Some(err);
+    }
+
+    /// Blocks until the next message lands in this worker's channel or the
+    /// deadline (nanoseconds on the run's [`Clock`]) passes.  Under sim the
+    /// block parks the task on the virtual scheduler — a 30s backstop costs
+    /// zero wall-clock — and a genuine deadlock (nothing in flight, no
+    /// future event) also surfaces as the typed timeout.
+    fn recv_next(
+        &mut self,
+        src: usize,
+        tag: u64,
+        started_ns: u64,
+        deadline_ns: Option<u64>,
+    ) -> ClusterResult<Msg> {
+        if let Some(sim) = self.sim.clone() {
+            loop {
+                if let Ok(m) = self.receiver.try_recv() {
+                    return Ok(m);
+                }
+                match sim.wait_for_delivery(self.rank, deadline_ns) {
+                    WaitOutcome::Delivered => continue,
+                    WaitOutcome::TimedOut { .. } => {
+                        return Err(ClusterError::Timeout {
+                            rank: self.rank,
+                            src,
+                            tag,
+                            waited_ms: self.clock.now_ns().saturating_sub(started_ns) / 1_000_000,
+                        })
+                    }
+                }
+            }
+        }
+        match deadline_ns {
+            None => match self.receiver.recv() {
+                Ok(m) => Ok(m),
+                // Unreachable (we hold a sender to ourselves), but
+                // mapped to a typed error rather than a panic.
+                Err(_) => Err(ClusterError::PeerCrashed {
+                    rank: self.rank,
+                    cause: "own inbound channel closed".into(),
+                }),
+            },
+            Some(d) => {
+                let remaining = Duration::from_nanos(d.saturating_sub(self.clock.now_ns()));
+                match self.receiver.recv_timeout(remaining) {
+                    Ok(m) => Ok(m),
+                    Err(RecvTimeoutError::Timeout) => Err(ClusterError::Timeout {
+                        rank: self.rank,
+                        src,
+                        tag,
+                        waited_ms: self.clock.now_ns().saturating_sub(started_ns) / 1_000_000,
+                    }),
+                    Err(RecvTimeoutError::Disconnected) => Err(ClusterError::PeerCrashed {
+                        rank: self.rank,
+                        cause: "own inbound channel closed".into(),
+                    }),
+                }
+            }
+        }
     }
 
     /// Core receive: matches `(src, tag)`, buffers everything else,
@@ -685,44 +821,11 @@ impl WorkerCtx {
                 return Ok(msg.payload);
             }
         }
-        // lint:allow(determinism): deadline bookkeeping for the timeout backstop
-        let started = Instant::now();
-        let deadline = timeout.map(|t| started + t);
+        let started_ns = self.clock.now_ns();
+        let deadline_ns = timeout
+            .map(|t| started_ns.saturating_add(u64::try_from(t.as_nanos()).unwrap_or(u64::MAX)));
         loop {
-            let msg = match deadline {
-                None => match self.receiver.recv() {
-                    Ok(m) => m,
-                    // Unreachable (we hold a sender to ourselves), but
-                    // mapped to a typed error rather than a panic.
-                    Err(_) => {
-                        return Err(ClusterError::PeerCrashed {
-                            rank: self.rank,
-                            cause: "own inbound channel closed".into(),
-                        })
-                    }
-                },
-                Some(d) => {
-                    // lint:allow(determinism): deadline bookkeeping for the timeout backstop
-                    let remaining = d.saturating_duration_since(Instant::now());
-                    match self.receiver.recv_timeout(remaining) {
-                        Ok(m) => m,
-                        Err(RecvTimeoutError::Timeout) => {
-                            return Err(ClusterError::Timeout {
-                                rank: self.rank,
-                                src,
-                                tag,
-                                waited_ms: started.elapsed().as_millis() as u64,
-                            })
-                        }
-                        Err(RecvTimeoutError::Disconnected) => {
-                            return Err(ClusterError::PeerCrashed {
-                                rank: self.rank,
-                                cause: "own inbound channel closed".into(),
-                            })
-                        }
-                    }
-                }
-            };
+            let msg = self.recv_next(src, tag, started_ns, deadline_ns)?;
             if msg.tag == ABORT_TAG {
                 let err = decode_abort(&msg);
                 self.abort = Some(err.clone());
@@ -1326,6 +1429,8 @@ impl WorkerCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::{PartitionWindow, SimProbe};
+    use std::time::Instant;
 
     #[test]
     #[should_panic(expected = "at least one worker")]
@@ -1876,5 +1981,165 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, ClusterError::PeerCrashed { rank: 0, .. }));
+    }
+
+    // ---- deterministic-simulation tests ----------------------------------
+
+    /// A workload exercising every collective the runtime offers, so the
+    /// scheduler has real interleaving decisions to make.
+    fn sim_workload(ctx: &mut WorkerCtx) -> ClusterResult<Vec<f64>> {
+        let me = ctx.rank() as f64;
+        let world = ctx.world();
+        let sum = ctx.try_allreduce_sum_scalar(me + 1.0)?;
+        ctx.try_barrier()?;
+        let bcast = (ctx.rank() == 0).then(|| Payload::F64(vec![sum * 2.0]));
+        let root = ctx.try_broadcast(0, bcast)?.into_f64();
+        let mut buf = vec![me; 8];
+        ctx.try_allreduce_sum(&mut buf)?;
+        let parts: Vec<Payload> = (0..world)
+            .map(|d| Payload::F64(vec![me, d as f64]))
+            .collect();
+        let swapped = ctx.try_exchange(parts)?;
+        let mut out = vec![sum, root[0], buf[0]];
+        for p in swapped {
+            out.extend(p.into_f64());
+        }
+        Ok(out)
+    }
+
+    fn run_sim(
+        seed: u64,
+        opts_extra: impl Fn(SimOptions) -> SimOptions,
+    ) -> (Vec<Vec<f64>>, u64, u64) {
+        let probe = SimProbe::new();
+        let sim = opts_extra(SimOptions::from_seed(seed)).with_probe(Arc::clone(&probe));
+        let opts = ClusterOptions::default().with_sim(sim);
+        let (results, _) = Cluster::try_run_with_opts(4, &opts, sim_workload).unwrap();
+        (results, probe.fingerprint(), probe.events())
+    }
+
+    #[test]
+    fn sim_same_seed_is_bit_identical_and_same_trace() {
+        let (r1, f1, e1) = run_sim(42, |s| s);
+        let (r2, f2, e2) = run_sim(42, |s| s);
+        assert!(e1 > 0, "probe recorded no events");
+        assert_eq!(f1, f2, "same seed must replay the exact event trace");
+        assert_eq!(e1, e2);
+        assert_eq!(r1, r2, "same seed must produce bit-identical results");
+    }
+
+    #[test]
+    fn sim_different_seeds_change_the_trace_not_the_values() {
+        let (r1, f1, _) = run_sim(1, |s| s);
+        let (r2, f2, _) = run_sim(2, |s| s);
+        assert_ne!(f1, f2, "seeds are folded into the fingerprint");
+        // Interleaving may differ but the SPMD results cannot.
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn sim_results_match_real_execution_bitwise() {
+        let (sim_results, _, _) = run_sim(7, |s| s);
+        let real = Cluster::try_run(4, sim_workload).unwrap();
+        assert_eq!(sim_results, real);
+    }
+
+    #[test]
+    fn sim_partition_heals_and_run_completes() {
+        // Cut rank 0 off from everyone for the first chunk of virtual
+        // time: collectives stall behind held messages, then the heal
+        // releases them and the run completes with correct values.
+        let (r, _, _) = run_sim(11, |s| {
+            s.with_partition(PartitionWindow {
+                a: 0,
+                b: usize::MAX,
+                start_ns: 0,
+                end_ns: 50_000,
+            })
+        });
+        let real = Cluster::try_run(4, sim_workload).unwrap();
+        assert_eq!(r, real);
+    }
+
+    #[test]
+    fn sim_chaos_fates_stay_bit_identical_to_fault_free() {
+        let plan = Arc::new(
+            FaultPlan::seeded(99)
+                .with_message_drops(150)
+                .with_duplicates(150)
+                .with_delays(150, Duration::from_millis(40)),
+        );
+        let probe = SimProbe::new();
+        let opts = ClusterOptions::default()
+            .with_fault_plan(plan)
+            .with_sim(SimOptions::from_seed(5).with_probe(Arc::clone(&probe)));
+        let (chaos, _) = Cluster::try_run_with_opts(4, &opts, sim_workload).unwrap();
+        let (clean, _, _) = run_sim(5, |s| s);
+        assert_eq!(chaos, clean, "fault fates must not change logical results");
+        assert!(probe.events() > 0);
+    }
+
+    #[test]
+    fn sim_deadlock_surfaces_typed_timeout_instead_of_hanging() {
+        // Rank 1 waits for a message nobody will ever send, with NO
+        // deadline: under the simulator that is a detected deadlock (no
+        // runnable task, nothing in flight) and wakes as a typed Timeout
+        // in zero wall-clock.
+        let opts = ClusterOptions::no_timeout().with_sim(SimOptions::from_seed(3));
+        let (results, _) = Cluster::try_run_with_opts(2, &opts, |ctx| {
+            if ctx.rank() == 1 {
+                Ok(ctx.try_recv(0, 77).unwrap_err())
+            } else {
+                Err(ClusterError::PeerCrashed {
+                    rank: 0,
+                    cause: "unused".into(),
+                })
+                .or(Ok(ClusterError::Timeout {
+                    rank: 0,
+                    src: 0,
+                    tag: 0,
+                    waited_ms: 0,
+                }))
+            }
+        })
+        .unwrap();
+        assert!(
+            matches!(results[1], ClusterError::Timeout { rank: 1, .. }),
+            "expected typed timeout, got {:?}",
+            results[1]
+        );
+    }
+
+    #[test]
+    fn sim_virtual_sleep_costs_no_wall_clock() {
+        // A 10-minute delay fate would hang a real run; under the
+        // simulator it is a virtual-time jump.
+        let probe = SimProbe::new();
+        let plan = Arc::new(FaultPlan::seeded(1).with_delays(1000, Duration::from_secs(600)));
+        // No receive deadline: the 10-minute virtual delay must not trip
+        // the (virtual) 30s backstop, and must still cost no wall-clock.
+        let opts = ClusterOptions::no_timeout()
+            .with_fault_plan(plan)
+            .with_sim(SimOptions::from_seed(9).with_probe(Arc::clone(&probe)));
+        let started = Instant::now();
+        let (results, _) = Cluster::try_run_with_opts(2, &opts, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.try_send(1, 1, Payload::F64(vec![4.25]))?;
+                Ok(0.0)
+            } else {
+                Ok(ctx.try_recv(0, 1)?.into_f64()[0])
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], 4.25);
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "virtual delays must not consume wall-clock"
+        );
+        assert!(
+            probe.virtual_ns() >= 600_000_000_000,
+            "the 10-minute delay must appear in virtual time (got {}ns)",
+            probe.virtual_ns()
+        );
     }
 }

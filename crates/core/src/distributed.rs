@@ -138,7 +138,7 @@ impl ClusterConfig {
         self
     }
 
-    fn resolved_parts(&self, order: usize) -> Vec<usize> {
+    pub(crate) fn resolved_parts(&self, order: usize) -> Vec<usize> {
         self.parts_per_mode
             .clone()
             .unwrap_or_else(|| vec![self.workers; order])
@@ -253,6 +253,16 @@ impl PlanCache {
     fn retain_live(&mut self, live: &[u64]) {
         let live: std::collections::BTreeSet<u64> = live.iter().copied().collect();
         self.entries.retain(|k, _| live.contains(k));
+    }
+
+    /// Drops every cached plan, returning how many were evicted.  Called on
+    /// membership changes: the grid (and therefore every cell's contents)
+    /// is re-derived for the new world size, so no cached layout can be
+    /// trusted to match a cell of the new partitioning.
+    pub fn invalidate_all(&mut self) -> usize {
+        let evicted = self.entries.len();
+        self.entries.clear();
+        evicted
     }
 }
 
@@ -406,7 +416,7 @@ fn run_distributed(
                 .into(),
         ));
     }
-    // lint:allow(determinism): elapsed-time reporting only
+    // lint:allow(determinism, clock_hygiene): elapsed-time reporting only
     let start = Instant::now();
     let order = tensor.order();
     let world = cluster.workers;
@@ -683,7 +693,7 @@ fn worker_body(
 
     let mut loss_trace: Vec<f64> = Vec::with_capacity(cfg.max_iters);
     let mut iterations = 0;
-    // lint:allow(determinism): elapsed-time reporting only
+    // lint:allow(determinism, clock_hygiene): elapsed-time reporting only
     let iter_start = Instant::now();
     let mut hat = vec![Matrix::zeros(0, 0); order];
     for n in 0..order {

@@ -23,7 +23,11 @@
 //! state ([`SessionCheckpoint`]), and
 //! [`StreamingSession::ingest_with_recovery`] replays a faulted step from
 //! the pre-step checkpoint under a [`RecoveryPolicy`].  Deterministic
-//! chaos testing plugs in through [`ClusterOptions`] / [`FaultPlan`].
+//! chaos testing plugs in through [`ClusterOptions`] / [`FaultPlan`],
+//! optionally inside the virtual-time simulator ([`SimOptions`]); the
+//! cluster grows and shrinks between steps via
+//! [`StreamingSession::request_join`] / `request_leave`, and
+//! [`shadow::ShadowOracle`] cross-checks simulated runs step by step.
 
 pub mod als;
 pub mod config;
@@ -33,9 +37,12 @@ pub mod loss;
 pub mod onlinecp;
 pub mod rank;
 pub mod session;
+pub mod shadow;
 
 pub use config::{DecompConfig, NumericsPolicy, RecoveryPolicy, WatchdogPolicy};
-pub use dismastd_cluster::{ClusterError, ClusterOptions, FaultPlan};
+pub use dismastd_cluster::{
+    ClusterError, ClusterOptions, FaultPlan, PartitionWindow, SimOptions, SimProbe,
+};
 pub use dismastd_obs::MetricsSnapshot;
 pub use dismastd_tensor::{
     NumericsReport, QuarantineCounts, SolvePolicy, SolveTier, ValidationMode,
@@ -47,7 +54,10 @@ pub use distributed::{
 pub use dtd::{dtd, DtdOutput};
 pub use onlinecp::OnlineCp;
 pub use rank::{select_rank, RankSearch};
-pub use session::{ExecutionMode, SessionCheckpoint, StepReport, StreamingSession};
+pub use session::{
+    ExecutionMode, MembershipChange, SessionCheckpoint, StepReport, StreamingSession,
+};
+pub use shadow::ShadowOracle;
 
 #[cfg(test)]
 mod proptests {

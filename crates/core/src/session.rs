@@ -41,6 +41,26 @@ pub enum ExecutionMode {
     Distributed(ClusterConfig),
 }
 
+/// A queued elastic-membership transition.  Changes are requested at any
+/// time ([`StreamingSession::request_join`] /
+/// [`StreamingSession::request_leave`]) but applied only at the next
+/// ingest boundary — between steps the factors are a consistent global
+/// snapshot, so re-deriving ownership for the new world there can never
+/// split a step across two placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// `count` workers join the cluster.
+    Join {
+        /// How many workers join.
+        count: usize,
+    },
+    /// `count` workers leave the cluster.
+    Leave {
+        /// How many workers leave.
+        count: usize,
+    },
+}
+
 /// What happened while ingesting one snapshot.
 #[derive(Debug, Clone)]
 pub struct StepReport {
@@ -154,6 +174,9 @@ pub struct StreamingSession {
     /// When `true`, every ingest collects per-phase metrics into
     /// [`StepReport::metrics`].  Runtime-only, never checkpointed.
     collect_metrics: bool,
+    /// Elastic-membership transitions queued for the next ingest boundary.
+    /// Runtime-only: a restored session starts with an empty queue.
+    pending_membership: Vec<MembershipChange>,
 }
 
 impl StreamingSession {
@@ -169,6 +192,7 @@ impl StreamingSession {
             cluster_opts: ClusterOptions::default(),
             comm_totals: CommStatsSnapshot::default(),
             collect_metrics: false,
+            pending_membership: Vec::new(),
         }
     }
 
@@ -199,6 +223,7 @@ impl StreamingSession {
             cluster_opts: ClusterOptions::default(),
             comm_totals: CommStatsSnapshot::default(),
             collect_metrics: false,
+            pending_membership: Vec::new(),
         })
     }
 
@@ -229,6 +254,150 @@ impl StreamingSession {
     /// Network traffic accumulated over every distributed step so far.
     pub fn comm_totals(&self) -> &CommStatsSnapshot {
         &self.comm_totals
+    }
+
+    // ---- elastic membership ----------------------------------------------
+
+    /// Queues `count` workers to join the cluster; applied at the next
+    /// ingest boundary (see [`MembershipChange`]).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] in serial mode or for
+    /// `count == 0`.
+    pub fn request_join(&mut self, count: usize) -> Result<()> {
+        self.queue_membership(MembershipChange::Join { count })
+    }
+
+    /// Queues `count` workers to leave the cluster; applied at the next
+    /// ingest boundary (see [`MembershipChange`]).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] in serial mode, for
+    /// `count == 0`, or when the queue (including this change) would drop
+    /// the cluster below one worker.
+    pub fn request_leave(&mut self, count: usize) -> Result<()> {
+        self.queue_membership(MembershipChange::Leave { count })
+    }
+
+    /// Membership transitions queued but not yet applied.
+    pub fn pending_membership(&self) -> &[MembershipChange] {
+        &self.pending_membership
+    }
+
+    fn queue_membership(&mut self, change: MembershipChange) -> Result<()> {
+        let ExecutionMode::Distributed(cc) = &self.mode else {
+            return Err(TensorError::InvalidArgument(
+                "membership changes require distributed mode".into(),
+            ));
+        };
+        let count = match change {
+            MembershipChange::Join { count } | MembershipChange::Leave { count } => count,
+        };
+        if count == 0 {
+            return Err(TensorError::InvalidArgument(
+                "membership change of zero workers".into(),
+            ));
+        }
+        // Validate the whole queue (with this change appended) at request
+        // time, so apply never has to reject mid-drain.
+        let mut world = cc.workers;
+        for c in self
+            .pending_membership
+            .iter()
+            .chain(std::iter::once(&change))
+        {
+            world = match *c {
+                MembershipChange::Join { count } => world.saturating_add(count),
+                MembershipChange::Leave { count } => {
+                    if count >= world {
+                        return Err(TensorError::InvalidArgument(format!(
+                            "leaving {count} worker(s) would drop the cluster below one \
+                             (world would be {world} at that point in the queue)"
+                        )));
+                    }
+                    world - count
+                }
+            };
+        }
+        self.pending_membership.push(change);
+        Ok(())
+    }
+
+    /// Applies every queued membership transition: resolves the new world
+    /// size, counts the factor rows whose owner moves between the old and
+    /// new placements, updates the cluster configuration, and invalidates
+    /// the plan cache (the grid, and therefore every cell, is re-derived
+    /// for the new world).  Called at each ingest boundary; a no-op when
+    /// nothing is queued or the net world change is zero.
+    ///
+    /// # Errors
+    /// Propagates placement-plan construction failures (the session's
+    /// membership state is still advanced — the new world size is applied
+    /// first, so a metrics failure cannot leave the queue half-drained).
+    fn apply_membership(&mut self) -> Result<()> {
+        if self.pending_membership.is_empty() {
+            return Ok(());
+        }
+        let changes: Vec<MembershipChange> = self.pending_membership.drain(..).collect();
+        let ExecutionMode::Distributed(cc) = &self.mode else {
+            // Unreachable: queueing rejects serial mode.
+            return Ok(());
+        };
+        let old_cc = cc.clone();
+        let mut world = old_cc.workers;
+        let mut joins = 0u64;
+        let mut leaves = 0u64;
+        for c in changes {
+            match c {
+                MembershipChange::Join { count } => {
+                    world = world.saturating_add(count);
+                    joins += count as u64;
+                }
+                MembershipChange::Leave { count } => {
+                    // Validated at request time; clamp defensively anyway.
+                    world = world.saturating_sub(count).max(1);
+                    leaves += count as u64;
+                }
+            }
+        }
+        dismastd_obs::counter_add("membership/join", joins);
+        dismastd_obs::counter_add("membership/leave", leaves);
+        if world == old_cc.workers {
+            return Ok(()); // net-zero change: same grid, nothing moves
+        }
+        if let ExecutionMode::Distributed(cc) = &mut self.mode {
+            cc.workers = world;
+        }
+        let evicted = self.plan_cache.invalidate_all();
+        dismastd_obs::counter_add("membership/plan_invalidations", evicted as u64);
+        // Migrated-rows accounting: compare row ownership between the old
+        // and new worlds' placement plans over the current shape.  The
+        // factors themselves are a global Kruskal tensor, so "migration"
+        // is an ownership re-derivation, not a data copy — the metric
+        // reports how many rows changed hands.
+        if !self.shape.is_empty() {
+            let probe = SparseTensor::empty(self.shape.clone())?;
+            let order = probe.order();
+            let old_grid = dismastd_partition::GridPartition::build_with(
+                &probe,
+                old_cc.partitioner,
+                &old_cc.resolved_parts(order),
+                old_cc.workers,
+                old_cc.cell_assignment,
+            )?;
+            let mut new_cc = old_cc;
+            new_cc.workers = world;
+            let new_grid = dismastd_partition::GridPartition::build_with(
+                &probe,
+                new_cc.partitioner,
+                &new_cc.resolved_parts(order),
+                new_cc.workers,
+                new_cc.cell_assignment,
+            )?;
+            let moved: u64 = old_grid.ownership_delta(&new_grid)?.iter().sum();
+            dismastd_obs::counter_add("membership/migrated_rows", moved);
+        }
+        Ok(())
     }
 
     // ---- checkpoint / recovery ------------------------------------------
@@ -272,7 +441,58 @@ impl StreamingSession {
             cluster_opts: ClusterOptions::default(),
             comm_totals: ckpt.comm_totals,
             collect_metrics: false,
+            pending_membership: Vec::new(),
         })
+    }
+
+    /// [`StreamingSession::from_checkpoint`] with an explicit worker count
+    /// for the restored cluster — restoring into a *different* world size
+    /// than the checkpoint's is the supported path for recovering onto a
+    /// grown or shrunk cluster.  Safe because the checkpointed factors are
+    /// a global [`KruskalTensor`]: row ownership is re-derived from the new
+    /// world's placement plan on the next ingest, so rows are migrated by
+    /// construction, never silently mis-assigned.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] when `workers == 0`, when
+    /// the checkpoint is serial-mode and `workers != 1` (a serial
+    /// checkpoint has no cluster to resize), or when the checkpoint is
+    /// internally inconsistent.
+    pub fn from_checkpoint_with_world(ckpt: SessionCheckpoint, workers: usize) -> Result<Self> {
+        if workers == 0 {
+            return Err(TensorError::InvalidArgument(
+                "restore_with_world: workers must be >= 1".into(),
+            ));
+        }
+        let mut ckpt = ckpt;
+        match &mut ckpt.mode {
+            ExecutionMode::Serial => {
+                if workers != 1 {
+                    return Err(TensorError::InvalidArgument(format!(
+                        "cannot restore a serial checkpoint into a {workers}-worker cluster; \
+                         resume distributed execution explicitly instead"
+                    )));
+                }
+            }
+            ExecutionMode::Distributed(cc) => {
+                cc.workers = workers;
+            }
+        }
+        Self::from_checkpoint(ckpt)
+    }
+
+    /// [`StreamingSession::restore`] with an explicit worker count; see
+    /// [`StreamingSession::from_checkpoint_with_world`].
+    ///
+    /// # Errors
+    /// As for [`StreamingSession::restore`] and
+    /// [`StreamingSession::from_checkpoint_with_world`].
+    pub fn restore_with_world(path: impl AsRef<std::path::Path>, workers: usize) -> Result<Self> {
+        let json = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint read: {e}")))?;
+        let ckpt: SessionCheckpoint = serde_json::from_str(&json)
+            .map_err(|e| TensorError::InvalidArgument(format!("checkpoint decode: {e}")))?;
+        Self::from_checkpoint_with_world(ckpt, workers)
     }
 
     /// Serialises the session's durable state to `path` as JSON.
@@ -332,6 +552,11 @@ impl StreamingSession {
         snapshot: &SparseTensor,
         policy: &RecoveryPolicy,
     ) -> Result<StepReport> {
+        // Apply queued membership changes *before* capturing the rollback
+        // checkpoint: a fault-triggered replay must re-run in the already
+        // transitioned world, not silently revert to the old one (the
+        // queue is drained by the apply, so a rollback cannot replay it).
+        self.apply_membership()?;
         let ckpt = self.to_checkpoint();
         if let Some(path) = &policy.checkpoint_path {
             self.checkpoint(path)?;
@@ -439,7 +664,10 @@ impl StreamingSession {
     /// restart budget is exhausted; propagates solver errors.  On error the
     /// session state is untouched and stays usable.
     pub fn ingest(&mut self, snapshot: &SparseTensor) -> Result<StepReport> {
-        // lint:allow(determinism): elapsed-time reporting only
+        // Elastic membership: queued join/leave transitions take effect
+        // here, before any of this step's placement work.
+        self.apply_membership()?;
+        // lint:allow(determinism, clock_hygiene): elapsed-time reporting only
         let started = Instant::now();
         // Installing the registry here makes every span/counter below — and
         // in the serial solver, which runs on this thread — land in this
@@ -603,7 +831,7 @@ impl StreamingSession {
         cfg: &DecompConfig,
         cold_start: bool,
     ) -> Result<AttemptOutcome> {
-        // lint:allow(determinism): elapsed-time reporting only
+        // lint:allow(determinism, clock_hygiene): elapsed-time reporting only
         let attempt_start = Instant::now();
         if cold_start {
             match &self.mode {

@@ -21,6 +21,10 @@
 //! - `plan/*`, `watchdog/*`, `ingest/*`, `solve/*` — event counters for
 //!   plan caching, divergence restarts, quarantined ingest, and the
 //!   solve-tier escalation ladder.
+//! - `sim/*` — deterministic-simulation scheduler events (messages on the
+//!   virtual wire, partition holds, time advances, deadlock wakes).
+//! - `membership/*` — elastic worker join/leave events and the ownership
+//!   migration / plan-invalidation work they trigger.
 //!
 //! Adding a metric means adding its name to the matching table below in
 //! the same change that introduces the call site; the L3 lint fails
@@ -65,8 +69,18 @@ pub const COUNTERS: &[&str] = &[
     "comm/compressed_bytes",
     "comm/downcast_rows",
     "ingest/quarantined",
+    // membership family: elastic join/leave and the migration work.
+    "membership/join",
+    "membership/leave",
+    "membership/migrated_rows",
+    "membership/plan_invalidations",
     "plan/cache_hit",
     "plan/rebuild",
+    // sim family: virtual-network scheduler events.
+    "sim/deadlock_wakes",
+    "sim/held_messages",
+    "sim/messages",
+    "sim/time_advances",
     "solve/tier",
     "watchdog/restart",
 ];
@@ -133,6 +147,8 @@ mod tests {
             "watchdog/",
             "ingest/",
             "solve/",
+            "sim/",
+            "membership/",
         ];
         for table in [SPANS, COUNTERS, GAUGES, HISTOGRAMS] {
             for name in table {

@@ -256,6 +256,45 @@ impl GridPartition {
         }
         loads
     }
+
+    /// Per-mode count of factor rows whose owner differs between this plan
+    /// and `other` — the rows an elastic membership change must migrate
+    /// when the cluster rebalances from one placement to the other.
+    ///
+    /// Both plans must describe the same tensor shape (same order, same
+    /// per-mode slice counts); the worker counts may differ — that is the
+    /// point.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidArgument`] when the plans' orders or
+    /// per-mode slice counts disagree.
+    pub fn ownership_delta(&self, other: &GridPartition) -> Result<Vec<u64>> {
+        if self.order() != other.order() {
+            return Err(TensorError::InvalidArgument(format!(
+                "ownership_delta: order mismatch ({} vs {})",
+                self.order(),
+                other.order()
+            )));
+        }
+        let mut delta = Vec::with_capacity(self.order());
+        for mode in 0..self.order() {
+            let n = self.mode_partitions[mode].num_slices();
+            let m = other.mode_partitions[mode].num_slices();
+            if n != m {
+                return Err(TensorError::InvalidArgument(format!(
+                    "ownership_delta: mode {mode} has {n} slices vs {m}"
+                )));
+            }
+            let mut moved = 0u64;
+            for slice in 0..n {
+                if self.row_owner(mode, slice) != other.row_owner(mode, slice) {
+                    moved += 1;
+                }
+            }
+            delta.push(moved);
+        }
+        Ok(delta)
+    }
 }
 
 #[inline]
@@ -408,6 +447,28 @@ mod tests {
         for (idx, _) in t.iter() {
             assert_eq!(g.worker_of(idx), 0);
         }
+    }
+
+    #[test]
+    fn ownership_delta_counts_moved_rows() {
+        let t = test_tensor();
+        let g2 = GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 2).unwrap();
+        // Same plan: nothing moves.
+        assert_eq!(g2.ownership_delta(&g2).unwrap(), vec![0, 0, 0]);
+        // Shrinking to one worker: every slice not already owned by worker
+        // 0 must migrate, and the count is exact per mode.
+        let g1 = GridPartition::build(&t, Partitioner::Mtp, &[2, 2, 2], 1).unwrap();
+        let delta = g2.ownership_delta(&g1).unwrap();
+        for (mode, moved) in delta.iter().enumerate() {
+            let expected = (0..4).filter(|&s| g2.row_owner(mode, s) != 0).count() as u64;
+            assert_eq!(*moved, expected, "mode {mode}");
+        }
+        // Mismatched shapes are a typed error, not a wrong count.
+        let mut b = SparseTensorBuilder::new(vec![6, 6, 6]);
+        b.push(&[5, 5, 5], 1.0).unwrap();
+        let bigger = b.build().unwrap();
+        let gb = GridPartition::build(&bigger, Partitioner::Mtp, &[2, 2, 2], 2).unwrap();
+        assert!(g2.ownership_delta(&gb).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The project lints, L1–L4, over the token stream of [`crate::lexer`].
+//! The project lints, L1–L5, over the token stream of [`crate::lexer`].
 //!
 //! Each lint walks a [`LexedFile`], skips tokens inside test regions,
 //! and emits [`Diagnostic`]s with exact `file:line:col` positions.  A
@@ -34,6 +34,10 @@ pub enum LintId {
     /// L4: public fallible APIs return the typed project errors, not
     /// `Box<dyn Error>`.
     ErrorHygiene,
+    /// L5: no raw OS-clock calls (`Instant::now`, `SystemTime::now`,
+    /// `thread::sleep`) outside the clock module — time must flow
+    /// through the `Clock` abstraction so simulation can virtualise it.
+    ClockHygiene,
 }
 
 impl LintId {
@@ -43,6 +47,7 @@ impl LintId {
             LintId::Determinism => "L2",
             LintId::SpanTaxonomy => "L3",
             LintId::ErrorHygiene => "L4",
+            LintId::ClockHygiene => "L5",
         }
     }
 
@@ -52,6 +57,7 @@ impl LintId {
             LintId::Determinism => "determinism",
             LintId::SpanTaxonomy => "span_taxonomy",
             LintId::ErrorHygiene => "error_hygiene",
+            LintId::ClockHygiene => "clock_hygiene",
         }
     }
 
@@ -61,6 +67,7 @@ impl LintId {
             "determinism" => Some(LintId::Determinism),
             "span_taxonomy" => Some(LintId::SpanTaxonomy),
             "error_hygiene" => Some(LintId::ErrorHygiene),
+            "clock_hygiene" => Some(LintId::ClockHygiene),
             _ => None,
         }
     }
@@ -99,6 +106,7 @@ pub struct LintScope {
     pub determinism: bool,
     pub span_taxonomy: bool,
     pub error_hygiene: bool,
+    pub clock_hygiene: bool,
 }
 
 impl LintScope {
@@ -107,6 +115,7 @@ impl LintScope {
         determinism: true,
         span_taxonomy: true,
         error_hygiene: true,
+        clock_hygiene: true,
     };
 }
 
@@ -127,6 +136,9 @@ pub fn lint_source(path: &Path, src: &str, scope: LintScope) -> Vec<Diagnostic> 
     }
     if scope.error_hygiene {
         l4_error_hygiene(path, &file, &mut diags);
+    }
+    if scope.clock_hygiene {
+        l5_clock_hygiene(path, &file, &mut diags);
     }
     diags.retain(|d| !is_allowed(&allows, d.lint, d.line));
     diags.sort_by_key(|d| (d.line, d.col, d.lint));
@@ -448,6 +460,61 @@ fn l4_error_hygiene(path: &Path, file: &LexedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---- L5: clock hygiene ---------------------------------------------------
+
+/// `Qualifier::method(` call patterns that read or burn real time.
+/// Everywhere in scope, such calls must route through the
+/// `dismastd_cluster::clock::Clock` abstraction so simulated runs stay
+/// on virtual time; `clock.rs` itself is the one sanctioned home.
+const L5_CALLS: &[(&str, &str, &str)] = &[
+    (
+        "thread",
+        "sleep",
+        "route delays through `Clock::sleep` so simulation can virtualise them",
+    ),
+    (
+        "Instant",
+        "now",
+        "route time reads through `Clock::now_ns` so simulation can virtualise them",
+    ),
+    (
+        "SystemTime",
+        "now",
+        "route time reads through `Clock::now_ns` so simulation can virtualise them",
+    ),
+];
+
+fn l5_clock_hygiene(path: &Path, file: &LexedFile, out: &mut Vec<Diagnostic>) {
+    // The clock module IS the real/virtual time boundary; it alone may
+    // touch the OS clock.
+    if path.file_name().is_some_and(|f| f == "clock.rs") {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || file.in_test_code(t) {
+            continue;
+        }
+        // `Qualifier :: method (` — `::` lexes as two `:` puncts.
+        for &(qualifier, method, hint) in L5_CALLS {
+            if t.text == qualifier
+                && is_punct(toks, i + 1, ':')
+                && is_punct(toks, i + 2, ':')
+                && is_ident(toks, i + 3, method)
+                && is_punct(toks, i + 4, '(')
+            {
+                out.push(diag(
+                    path,
+                    t,
+                    LintId::ClockHygiene,
+                    format!("`{qualifier}::{method}()` bypasses the clock abstraction; {hint}"),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +612,30 @@ fn f() {
             },
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l5_flags_raw_clock_calls_but_exempts_the_clock_module() {
+        let src = "\
+use std::time::Duration;
+pub fn nap() { std::thread::sleep(Duration::from_millis(5)); }
+pub fn stamp() -> u64 { let t = std::time::Instant::now(); t.elapsed().as_nanos() as u64 }
+pub fn sleepless(clock: &dyn Clock) { clock.sleep(0, Duration::from_millis(5)); }
+";
+        let scope = LintScope {
+            clock_hygiene: true,
+            ..Default::default()
+        };
+        let d = run(src, scope);
+        let got: Vec<(LintId, u32)> = d.iter().map(|d| (d.lint, d.line)).collect();
+        assert_eq!(
+            got,
+            vec![(LintId::ClockHygiene, 2), (LintId::ClockHygiene, 3)],
+            "{d:?}"
+        );
+        // The clock module is the sanctioned boundary and lints clean.
+        let exempt = lint_source(Path::new("clock.rs"), src, scope);
+        assert!(exempt.is_empty(), "{exempt:?}");
     }
 
     #[test]

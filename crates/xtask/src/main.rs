@@ -68,7 +68,7 @@ fn lint(args: &[String]) -> ExitCode {
         println!("{d}");
     }
     if diags.is_empty() {
-        println!("xtask lint: {files} files clean (L1 panic-path, L2 determinism, L3 span-taxonomy, L4 error-hygiene)");
+        println!("xtask lint: {files} files clean (L1 panic-path, L2 determinism, L3 span-taxonomy, L4 error-hygiene, L5 clock-hygiene)");
         ExitCode::SUCCESS
     } else {
         eprintln!(

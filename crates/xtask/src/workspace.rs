@@ -14,6 +14,11 @@
 //! - **L3 span-taxonomy** covers every crate that emits metrics.
 //! - **L4 error-hygiene** covers the crates whose public APIs promise
 //!   typed errors: `cluster`, `core`, `tensor`.
+//! - **L5 clock-hygiene** rides with the full scope (`tensor`, `core`,
+//!   `cluster`): raw `Instant::now` / `SystemTime::now` /
+//!   `thread::sleep` calls must route through the `Clock` abstraction
+//!   so the deterministic simulator can virtualise time;
+//!   `cluster/src/clock.rs` is the one sanctioned home.
 //!
 //! The integration-test crate (`tests/`) and `vendor/` are deliberately
 //! out of scope: the former is all test code, the latter is third-party

@@ -1,0 +1,22 @@
+//! L5 fixture: raw OS-clock calls outside the clock module.
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn sanctioned() {
+    // lint:allow(clock_hygiene): escape-hatch check for the fixture
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod t {
+    pub fn tests_may_sleep_for_real() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

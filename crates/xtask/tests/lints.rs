@@ -69,9 +69,15 @@ fn l1_still_audits_code_after_an_inline_test_module() {
 
 #[test]
 fn l2_flags_hash_containers_and_wall_clocks() {
+    // Line 10's `SystemTime::now()` trips both the determinism lint (the
+    // ident) and the clock-hygiene lint (the call) under the full scope.
     assert_exact(
         "l2_determinism.rs",
-        &[(LintId::Determinism, 3), (LintId::Determinism, 10)],
+        &[
+            (LintId::Determinism, 3),
+            (LintId::Determinism, 10),
+            (LintId::ClockHygiene, 10),
+        ],
     );
 }
 
@@ -97,6 +103,20 @@ fn l3_flags_unregistered_labels_with_a_suggestion() {
 #[test]
 fn l4_flags_leaked_box_dyn_error_only() {
     assert_exact("l4_boxdyn.rs", &[(LintId::ErrorHygiene, 5)]);
+}
+
+#[test]
+fn l5_flags_raw_clock_calls_but_honours_allow_and_tests() {
+    // Line 8's `Instant::now()` also trips L2 under the full scope —
+    // pinned here so the cross-hit stays visible.
+    assert_exact(
+        "l5_clock.rs",
+        &[
+            (LintId::ClockHygiene, 4),
+            (LintId::Determinism, 8),
+            (LintId::ClockHygiene, 8),
+        ],
+    );
 }
 
 #[test]

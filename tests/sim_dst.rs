@@ -1,0 +1,248 @@
+//! Deterministic-simulation (DST) suite: streaming sessions under
+//! one-seed chaos with elastic membership, checked against the shadow
+//! oracle after every step.
+//!
+//! Every scenario runs the observed session inside the virtual-time
+//! simulator (`SimOptions`) with a seeded `FaultPlan` layered on top, so
+//! a single u64 seed determines the scheduler interleaving, per-link
+//! latencies, partition windows, and fault fates.  The acceptance
+//! properties:
+//!
+//! 1. same seed ⇒ identical event trace and bit-identical factors;
+//! 2. *different* seeds still converge to bit-identical factors — chaos
+//!    may reorder the schedule but must never change the math;
+//! 3. join-during-exchange, leave-during-solve, and
+//!    partition-during-rebalance all pass a seed sweep with the shadow
+//!    checker (bitwise vs a fault-free replica, tolerance vs the serial
+//!    oracle) green after every step.
+//!
+//! Sweep width comes from `DISMASTD_DST_SEEDS` (default 8 locally; CI
+//! runs 64).  On failure the panic message carries the seed, so any red
+//! run replays exactly with `DISMASTD_DST_SEEDS` pinned and the seed
+//! plugged into a one-off scenario.
+
+use dismastd_cluster::{ClusterOptions, FaultPlan, PartitionWindow, SimOptions, SimProbe};
+use dismastd_core::{ClusterConfig, DecompConfig, ExecutionMode, ShadowOracle, StreamingSession};
+use dismastd_data::StreamSequence;
+use dismastd_integration_tests::random_tensor;
+use dismastd_tensor::TensorError;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dst_cfg() -> DecompConfig {
+    DecompConfig::default().with_rank(3).with_max_iters(3)
+}
+
+fn sweep_seeds() -> Vec<u64> {
+    let n = std::env::var("DISMASTD_DST_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(8);
+    (0..n).collect()
+}
+
+/// Runs one 3-step streaming scenario under simulated chaos.
+///
+/// * `delta` — membership change requested before step `change_at`
+///   (+n join, -n leave);
+/// * `windows` — explicit partition windows, on top of one seeded one;
+/// * `check` — replay every step through the [`ShadowOracle`].
+///
+/// Returns the per-step trace fingerprints and the final factor bits.
+fn run_scenario(
+    seed: u64,
+    start_world: usize,
+    delta: isize,
+    change_at: usize,
+    windows: &[PartitionWindow],
+    check: bool,
+) -> (Vec<u64>, Vec<Vec<u64>>) {
+    let cfg = dst_cfg();
+    let full = random_tensor(&[12, 10, 8], 400, 17);
+    let seq = StreamSequence::cut(&full, &[0.6, 0.8, 1.0]).expect("cuts");
+
+    let probe = SimProbe::new();
+    let mut sim = SimOptions::from_seed(seed)
+        .with_seeded_partitions(1, 200_000)
+        .with_probe(Arc::clone(&probe));
+    for w in windows {
+        sim = sim.with_partition(*w);
+    }
+    let plan = FaultPlan::seeded(seed ^ 0x5EED)
+        .with_message_drops(100)
+        .with_duplicates(100)
+        .with_delays(100, Duration::from_millis(2));
+    let opts = ClusterOptions::default()
+        .with_fault_plan(Arc::new(plan))
+        .with_sim(sim);
+
+    let mut observed = StreamingSession::new(
+        cfg,
+        ExecutionMode::Distributed(ClusterConfig::new(start_world)),
+    );
+    observed.set_cluster_options(opts);
+    let mut oracle = ShadowOracle::new(cfg, ClusterConfig::new(start_world));
+
+    let mut trace = Vec::new();
+    for (t, snap) in seq.iter().enumerate() {
+        if t == change_at {
+            if delta > 0 {
+                observed
+                    .request_join(delta as usize)
+                    .unwrap_or_else(|e| panic!("seed {seed}: join request failed: {e}"));
+            } else if delta < 0 {
+                observed
+                    .request_leave(delta.unsigned_abs())
+                    .unwrap_or_else(|e| panic!("seed {seed}: leave request failed: {e}"));
+            }
+        }
+        observed
+            .ingest(snap)
+            .unwrap_or_else(|e| panic!("seed {seed}: step {t} failed under chaos: {e}"));
+        trace.push(probe.fingerprint());
+        if check {
+            oracle
+                .check_step(snap, &observed)
+                .unwrap_or_else(|e| panic!("seed {seed}: shadow check failed: {e}"));
+        }
+    }
+    let factors = observed
+        .factors()
+        .expect("factors after 3 steps")
+        .factors()
+        .iter()
+        .map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect())
+        .collect();
+    (trace, factors)
+}
+
+#[test]
+fn same_seed_gives_identical_trace_and_factors() {
+    let (trace_a, bits_a) = run_scenario(7, 2, 1, 1, &[], false);
+    let (trace_b, bits_b) = run_scenario(7, 2, 1, 1, &[], false);
+    assert_eq!(trace_a, trace_b, "same seed must replay the same schedule");
+    assert_eq!(bits_a, bits_b, "same seed must replay identical factors");
+
+    // A different seed reorders the schedule (different trace) but the
+    // decomposition itself must be chaos-invariant: identical bits.
+    let (trace_c, bits_c) = run_scenario(8, 2, 1, 1, &[], false);
+    assert_ne!(trace_a, trace_c, "seed must drive the schedule trace");
+    assert_eq!(bits_a, bits_c, "chaos must never change the math");
+}
+
+#[test]
+fn join_during_exchange_survives_the_seed_sweep() {
+    for seed in sweep_seeds() {
+        run_scenario(seed, 2, 1, 1, &[], true);
+    }
+}
+
+#[test]
+fn leave_during_solve_survives_the_seed_sweep() {
+    for seed in sweep_seeds() {
+        run_scenario(seed, 3, -1, 1, &[], true);
+    }
+}
+
+#[test]
+fn partition_during_rebalance_survives_the_seed_sweep() {
+    // Isolate worker 0 across the opening of the membership step — the
+    // exchange that redistributes rows must ride out the outage.
+    let outage = PartitionWindow {
+        a: 0,
+        b: usize::MAX,
+        start_ns: 0,
+        end_ns: 150_000,
+    };
+    for seed in sweep_seeds() {
+        run_scenario(seed, 2, 1, 1, &[outage], true);
+    }
+}
+
+// ---- checkpoint/restore across membership changes ------------------------
+
+#[test]
+fn restore_into_a_larger_world_matches_the_elastic_join() {
+    let cfg = dst_cfg();
+    let full = random_tensor(&[12, 10, 8], 400, 17);
+    let seq = StreamSequence::cut(&full, &[0.6, 1.0]).expect("cuts");
+    let snaps: Vec<_> = seq.iter().collect();
+
+    let mut elastic = StreamingSession::new(cfg, ExecutionMode::Distributed(ClusterConfig::new(2)));
+    elastic.ingest(snaps[0]).expect("step 0");
+    let ckpt = elastic.to_checkpoint();
+
+    // Path A: stay resident, grow elastically before step 1.
+    elastic.request_join(1).expect("join");
+    elastic.ingest(snaps[1]).expect("elastic step 1");
+
+    // Path B: restore the step-0 checkpoint straight into the 3-worker
+    // world and take the same step.
+    let mut restored =
+        StreamingSession::from_checkpoint_with_world(ckpt, 3).expect("restore into world 3");
+    restored.ingest(snaps[1]).expect("restored step 1");
+
+    let a = elastic.factors().expect("factors");
+    let b = restored.factors().expect("factors");
+    for (mode, (fa, fb)) in a.factors().iter().zip(b.factors()).enumerate() {
+        let bits_a: Vec<u64> = fa.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = fb.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits_a, bits_b,
+            "mode {mode}: restore-with-world must migrate to the same state the elastic join reaches"
+        );
+    }
+}
+
+#[test]
+fn restore_with_world_rejects_zero_and_serial_mismatch() {
+    let cfg = dst_cfg();
+    let full = random_tensor(&[10, 9, 8], 200, 3);
+    let seq = StreamSequence::cut(&full, &[1.0]).expect("cuts");
+
+    let mut serial = StreamingSession::new(cfg, ExecutionMode::Serial);
+    serial
+        .ingest(seq.iter().next().expect("one snapshot"))
+        .expect("ingest");
+    let ckpt = serial.to_checkpoint();
+
+    match StreamingSession::from_checkpoint_with_world(ckpt.clone(), 0) {
+        Err(TensorError::InvalidArgument(msg)) => {
+            assert!(msg.contains("workers"), "unexpected message: {msg}")
+        }
+        other => panic!("workers=0 must fail typed, got {other:?}"),
+    }
+    match StreamingSession::from_checkpoint_with_world(ckpt.clone(), 3) {
+        Err(TensorError::InvalidArgument(msg)) => {
+            assert!(msg.contains("serial"), "unexpected message: {msg}")
+        }
+        other => panic!("serial checkpoint into a 3-worker cluster must fail typed, got {other:?}"),
+    }
+    // world 1 is the identity restore for a serial checkpoint.
+    StreamingSession::from_checkpoint_with_world(ckpt, 1).expect("serial -> world 1 is fine");
+}
+
+#[test]
+fn membership_requests_validate_eagerly() {
+    let cfg = dst_cfg();
+
+    let mut serial = StreamingSession::new(cfg, ExecutionMode::Serial);
+    assert!(
+        matches!(serial.request_join(1), Err(TensorError::InvalidArgument(_))),
+        "serial sessions have no cluster to grow"
+    );
+
+    let mut dist = StreamingSession::new(cfg, ExecutionMode::Distributed(ClusterConfig::new(2)));
+    assert!(
+        matches!(dist.request_join(0), Err(TensorError::InvalidArgument(_))),
+        "zero-count changes are meaningless"
+    );
+    assert!(
+        matches!(dist.request_leave(2), Err(TensorError::InvalidArgument(_))),
+        "the cluster can never drop below one worker"
+    );
+    // A valid queue is visible until the next ingest applies it.
+    dist.request_join(2).expect("join 2");
+    dist.request_leave(1).expect("leave 1 of the queued 4");
+    assert_eq!(dist.pending_membership().len(), 2);
+}
