@@ -64,12 +64,55 @@ impl Clock for RealClock {
     }
 }
 
+/// A driver-side virtual clock: `sleep` advances `now_ns` instantly
+/// instead of blocking.  The supervision layer's heal backoff routes
+/// through this under test, so an exponential-backoff ladder that would
+/// cost seconds of wall-clock replays in microseconds while still being
+/// *accounted* — `now_ns` reflects every nanosecond spent.
+///
+/// Unlike the simulator's clock (which parks exactly one worker task on a
+/// scheduler queue), this clock has no scheduler: it serves the *driver*
+/// thread, which sleeps between whole cluster runs, outside any `SimNet`.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ns: std::sync::atomic::AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn sleep(&self, _rank: usize, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.now_ns
+            .fetch_add(ns, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
 /// Shared handle type the runtime threads carry.
 pub type SharedClock = Arc<dyn Clock>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn virtual_clock_spends_time_without_blocking() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.sleep(0, Duration::from_secs(600)); // ten virtual minutes, no wall-clock
+        assert_eq!(c.now_ns(), 600_000_000_000);
+        c.sleep(3, Duration::from_nanos(5));
+        assert_eq!(c.now_ns(), 600_000_000_005);
+    }
 
     #[test]
     fn real_clock_is_monotone_and_sleeps() {

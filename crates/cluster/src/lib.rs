@@ -29,15 +29,17 @@ pub mod error;
 pub mod fault;
 pub mod runtime;
 pub mod sim;
+pub mod supervisor;
 pub mod wire;
 
-pub use clock::{Clock, RealClock, SharedClock};
+pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use comm::{BufferPool, CommStats, CommStatsSnapshot, Payload};
 pub use cost::CostModel;
 pub use error::{ClusterError, ClusterResult};
 pub use fault::FaultPlan;
 pub use runtime::{Cluster, ClusterOptions, Framed, PendingExchange, WorkerCtx};
-pub use sim::{PartitionWindow, SimOptions, SimProbe};
+pub use sim::{CrashAndRejoin, PartitionWindow, SimOptions, SimProbe};
+pub use supervisor::{HealAction, HealPolicy, Supervisor};
 pub use wire::{decode_rows, maybe_compress, AllreduceAlgo, CommPolicy, WireMeta};
 
 #[cfg(test)]

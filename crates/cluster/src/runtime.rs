@@ -866,6 +866,20 @@ impl WorkerCtx {
                 });
             }
         }
+        // The simulator's crash-and-rejoin fates fire here too; the rejoin
+        // half happens in `SimNet::worker_start` on the retry run.
+        if let Some(sim) = &self.sim {
+            if sim.take_crash(self.rank, self.seq) {
+                loom_pause(pause_point::CRASH);
+                return Err(ClusterError::PeerCrashed {
+                    rank: self.rank,
+                    cause: format!(
+                        "fault injection: crash-and-rejoin at collective {}",
+                        self.seq
+                    ),
+                });
+            }
+        }
         Ok(())
     }
 

@@ -29,8 +29,8 @@ use crate::config::DecompConfig;
 use crate::dtd::{converged, init_factors};
 use crate::loss::{dtd_loss, GramState, LossParts};
 use dismastd_cluster::{
-    decode_rows, maybe_compress, BufferPool, Cluster, ClusterOptions, ClusterResult, CommPolicy,
-    CommStatsSnapshot, Framed, Payload, PendingExchange, WorkerCtx,
+    decode_rows, maybe_compress, BufferPool, Cluster, ClusterError, ClusterOptions, ClusterResult,
+    CommPolicy, CommStatsSnapshot, Framed, Payload, PendingExchange, WorkerCtx,
 };
 use dismastd_obs::MetricsSnapshot;
 use dismastd_partition::{CellAssignment, GridPartition, Partitioner};
@@ -395,6 +395,24 @@ pub fn dms_mg_with_opts(
     run_distributed(full, &zero_old, cfg, cluster, opts, cache)
 }
 
+/// Maps a [`ClusterError`] onto [`TensorError::ClusterFault`], attributing
+/// the fault to the rank the heal ladder should charge: the crashed worker,
+/// the peer a timeout was waiting on, or the rank that contributed a
+/// mis-sized collective buffer.  `TypeMismatch` is a protocol bug with no
+/// sensible culprit, so it stays unattributed.
+fn cluster_fault(e: ClusterError) -> TensorError {
+    let rank = match &e {
+        ClusterError::PeerCrashed { rank, .. } => Some(*rank),
+        ClusterError::Timeout { src, .. } => Some(*src),
+        ClusterError::SizeMismatch { rank, .. } => Some(*rank),
+        ClusterError::TypeMismatch { .. } => None,
+    };
+    TensorError::ClusterFault {
+        rank,
+        detail: e.to_string(),
+    }
+}
+
 fn run_distributed(
     tensor: &SparseTensor,
     old_factors: &[Matrix],
@@ -484,7 +502,7 @@ fn run_distributed(
             collect,
         )
     })
-    .map_err(|e| TensorError::ClusterFault(e.to_string()))?;
+    .map_err(cluster_fault)?;
 
     // Harvest every rank's metrics (in rank order) before consuming rank 0;
     // a rank that failed simply contributes nothing.

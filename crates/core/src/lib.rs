@@ -41,7 +41,8 @@ pub mod shadow;
 
 pub use config::{DecompConfig, NumericsPolicy, RecoveryPolicy, WatchdogPolicy};
 pub use dismastd_cluster::{
-    ClusterError, ClusterOptions, FaultPlan, PartitionWindow, SimOptions, SimProbe,
+    ClusterError, ClusterOptions, CrashAndRejoin, FaultPlan, HealAction, HealPolicy,
+    PartitionWindow, SimOptions, SimProbe, Supervisor, VirtualClock,
 };
 pub use dismastd_obs::MetricsSnapshot;
 pub use dismastd_tensor::{
@@ -55,7 +56,8 @@ pub use dtd::{dtd, DtdOutput};
 pub use onlinecp::OnlineCp;
 pub use rank::{select_rank, RankSearch};
 pub use session::{
-    ExecutionMode, MembershipChange, SessionCheckpoint, StepReport, StreamingSession,
+    ExecutionMode, HealReport, HealTransition, MembershipChange, SessionCheckpoint, StepReport,
+    StreamingSession,
 };
 pub use shadow::ShadowOracle;
 

@@ -15,12 +15,20 @@
 //! state and replays the step within a bounded retry budget.  Because the
 //! decomposition is deterministic for a fixed seed, a replayed step
 //! reproduces the fault-free factors bit for bit.
+//!
+//! Sessions are also **self-healing**:
+//! [`StreamingSession::ingest_with_heal`] runs the same rollback/replay
+//! under a [`Supervisor`] executing a [`HealPolicy`] ladder — bounded
+//! per-rank respawns with seeded backoff, then a degraded-world fallback
+//! that shrinks the cluster through the elastic-leave path instead of
+//! failing — so a crashed worker never surfaces to the caller until the
+//! ladder is genuinely exhausted.
 
 use crate::als::cp_als;
 use crate::config::{DecompConfig, RecoveryPolicy, WatchdogPolicy};
 use crate::distributed::{dismastd_with_opts, dms_mg_with_opts, ClusterConfig, PlanCache};
 use crate::dtd::dtd;
-use dismastd_cluster::{ClusterOptions, CommStatsSnapshot};
+use dismastd_cluster::{ClusterOptions, CommStatsSnapshot, HealAction, HealPolicy, Supervisor};
 use dismastd_obs::MetricsSnapshot;
 use dismastd_tensor::matrix::Matrix;
 use dismastd_tensor::{
@@ -59,6 +67,38 @@ pub enum MembershipChange {
         /// How many workers leave.
         count: usize,
     },
+}
+
+/// A structural transition the heal ladder performed while completing a
+/// step (see [`StreamingSession::ingest_with_heal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealTransition {
+    /// A rank exhausted its respawn budget and the supervisor shrank the
+    /// world through the elastic-leave path instead of failing the step.
+    Degraded {
+        /// World size before the shrink.
+        from_world: usize,
+        /// World size after the shrink.
+        to_world: usize,
+    },
+}
+
+/// What the recovery machinery did to complete a step: populated by
+/// [`StreamingSession::ingest_with_heal`] (full ladder) and
+/// [`StreamingSession::ingest_with_recovery`] (replay-only), `None` on the
+/// plain [`StreamingSession::ingest`] path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealReport {
+    /// Respawn-and-replay attempts this step consumed.
+    pub respawns: usize,
+    /// Nanoseconds of backoff spent before replays (virtual when the
+    /// [`HealPolicy`] carries a virtual clock, wall otherwise).
+    pub backoff_ns: u64,
+    /// Structural transitions, in the order the ladder took them.
+    pub transitions: Vec<HealTransition>,
+    /// `true` when any [`HealTransition::Degraded`] fired — the step
+    /// completed, but at reduced parallelism.
+    pub degraded: bool,
 }
 
 /// What happened while ingesting one snapshot.
@@ -108,6 +148,9 @@ pub struct StepReport {
     /// every rank's worker metrics, so span totals sum concurrent per-rank
     /// time and can exceed [`StepReport::elapsed`].
     pub metrics: Option<MetricsSnapshot>,
+    /// What the heal ladder / replay machinery did this step; `None` on the
+    /// plain [`StreamingSession::ingest`] path.
+    pub heal: Option<HealReport>,
 }
 
 /// The durable state of a [`StreamingSession`], as written by
@@ -177,6 +220,12 @@ pub struct StreamingSession {
     /// Elastic-membership transitions queued for the next ingest boundary.
     /// Runtime-only: a restored session starts with an empty queue.
     pending_membership: Vec<MembershipChange>,
+    /// The heal-ladder executor behind
+    /// [`StreamingSession::ingest_with_heal`]; installed by
+    /// [`StreamingSession::set_heal_policy`] (or lazily with defaults).
+    /// Runtime-only: per-rank budgets belong to this process's cluster,
+    /// not to a checkpoint.
+    supervisor: Option<Supervisor>,
 }
 
 impl StreamingSession {
@@ -193,6 +242,7 @@ impl StreamingSession {
             comm_totals: CommStatsSnapshot::default(),
             collect_metrics: false,
             pending_membership: Vec::new(),
+            supervisor: None,
         }
     }
 
@@ -224,6 +274,7 @@ impl StreamingSession {
             comm_totals: CommStatsSnapshot::default(),
             collect_metrics: false,
             pending_membership: Vec::new(),
+            supervisor: None,
         })
     }
 
@@ -244,6 +295,18 @@ impl StreamingSession {
     /// Whether per-step metrics collection is enabled.
     pub fn collect_metrics(&self) -> bool {
         self.collect_metrics
+    }
+
+    /// Installs the heal ladder [`StreamingSession::ingest_with_heal`]
+    /// executes.  Replaces any previous supervisor, resetting its per-rank
+    /// respawn budgets.
+    pub fn set_heal_policy(&mut self, policy: HealPolicy) {
+        self.supervisor = Some(Supervisor::new(policy));
+    }
+
+    /// The heal policy in effect, if a supervisor is installed.
+    pub fn heal_policy(&self) -> Option<&HealPolicy> {
+        self.supervisor.as_ref().map(Supervisor::policy)
     }
 
     /// The cluster runtime options in effect.
@@ -442,6 +505,7 @@ impl StreamingSession {
             comm_totals: ckpt.comm_totals,
             collect_metrics: false,
             pending_membership: Vec::new(),
+            supervisor: None,
         })
     }
 
@@ -566,17 +630,141 @@ impl StreamingSession {
             match self.ingest(snapshot) {
                 Ok(mut report) => {
                     report.retries = retries;
+                    report.heal = Some(HealReport {
+                        respawns: retries,
+                        backoff_ns: 0,
+                        transitions: Vec::new(),
+                        degraded: false,
+                    });
                     return Ok(report);
                 }
-                Err(TensorError::ClusterFault(msg)) => {
+                Err(TensorError::ClusterFault { rank, detail }) => {
                     if retries >= policy.max_retries {
-                        return Err(TensorError::ClusterFault(format!(
-                            "{msg} (retry budget of {} exhausted)",
-                            policy.max_retries
-                        )));
+                        return Err(TensorError::ClusterFault {
+                            rank,
+                            detail: format!(
+                                "{detail} (retry budget of {} exhausted)",
+                                policy.max_retries
+                            ),
+                        });
                     }
                     retries += 1;
                     self.restore_in_place(ckpt.clone());
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// [`StreamingSession::ingest`] under the supervision layer: a cluster
+    /// fault is healed automatically by walking the [`HealPolicy`] ladder
+    /// instead of surfacing to the caller.
+    ///
+    /// 1. **Respawn-and-rejoin** — the session rolls back to its pre-step
+    ///    checkpoint and replays the step, readmitting the crashed rank at
+    ///    the step boundary (same world, ownership re-derived from the
+    ///    global checkpointed factors — the identity case of an elastic
+    ///    rejoin).  Each rank has a bounded respawn budget and each replay
+    ///    is preceded by seeded exponential backoff spent through the
+    ///    policy's [`dismastd_cluster::Clock`].
+    /// 2. **Degraded-world fallback** — once a rank's budget is exhausted,
+    ///    the world is shrunk by one worker via the elastic-leave path and
+    ///    the step re-run there; the returned report records a typed
+    ///    [`HealTransition::Degraded`] instead of the session failing.
+    /// 3. Only when degradation is disallowed or the world has reached the
+    ///    policy's floor does the fault propagate, annotated with the heal
+    ///    history.
+    ///
+    /// Installs a default-policy [`Supervisor`] if
+    /// [`StreamingSession::set_heal_policy`] was never called.  Per-rank
+    /// budgets persist across steps: a rank that keeps dying walks down
+    /// the ladder rather than resetting it every snapshot.  Because the
+    /// decomposition is deterministic, a healed step is bit-identical to a
+    /// fault-free run at the same final world size.
+    ///
+    /// # Errors
+    /// Propagates [`TensorError::ClusterFault`] only when the ladder is
+    /// exhausted; all other errors propagate immediately.
+    pub fn ingest_with_heal(&mut self, snapshot: &SparseTensor) -> Result<StepReport> {
+        if self.supervisor.is_none() {
+            self.supervisor = Some(Supervisor::new(HealPolicy::default()));
+        }
+        // As in ingest_with_recovery: drain queued membership before the
+        // rollback checkpoint so replays re-run in the transitioned world.
+        self.apply_membership()?;
+        let mut ckpt = self.to_checkpoint();
+        let backoff_before = self.supervisor.as_ref().map_or(0, Supervisor::backoff_ns);
+        let mut respawns = 0usize;
+        let mut transitions: Vec<HealTransition> = Vec::new();
+        loop {
+            let replaying = respawns > 0 || !transitions.is_empty();
+            let result = if replaying {
+                let _replay = dismastd_obs::span("heal/replay");
+                self.ingest(snapshot)
+            } else {
+                self.ingest(snapshot)
+            };
+            match result {
+                Ok(mut report) => {
+                    report.retries = respawns;
+                    let spent = self.supervisor.as_ref().map_or(0, Supervisor::backoff_ns);
+                    report.heal = Some(HealReport {
+                        respawns,
+                        backoff_ns: spent.saturating_sub(backoff_before),
+                        degraded: !transitions.is_empty(),
+                        transitions,
+                    });
+                    return Ok(report);
+                }
+                Err(TensorError::ClusterFault { rank, detail }) => {
+                    let world = match &self.mode {
+                        ExecutionMode::Distributed(cc) => cc.workers,
+                        ExecutionMode::Serial => 1,
+                    };
+                    let action = match self.supervisor.as_mut() {
+                        Some(sup) => sup.on_fault(rank, world),
+                        // Unreachable (installed above); fail typed, not loud.
+                        None => HealAction::GiveUp { rank },
+                    };
+                    match action {
+                        HealAction::Respawn { backoff, .. } => {
+                            if let Some(sup) = self.supervisor.as_mut() {
+                                sup.back_off(backoff);
+                            }
+                            respawns += 1;
+                            self.restore_in_place(ckpt.clone());
+                        }
+                        HealAction::Degrade { .. } => {
+                            // Shrink through the ordinary elastic-leave
+                            // path so plan invalidation and the
+                            // membership/* accounting fire exactly as a
+                            // voluntary departure would.
+                            self.restore_in_place(ckpt.clone());
+                            self.request_leave(1)?;
+                            self.apply_membership()?;
+                            let to_world = match &self.mode {
+                                ExecutionMode::Distributed(cc) => cc.workers,
+                                ExecutionMode::Serial => 1,
+                            };
+                            transitions.push(HealTransition::Degraded {
+                                from_world: world,
+                                to_world,
+                            });
+                            // Later rollbacks must land in the shrunk
+                            // world, not resurrect the old one.
+                            ckpt = self.to_checkpoint();
+                        }
+                        HealAction::GiveUp { .. } => {
+                            return Err(TensorError::ClusterFault {
+                                rank,
+                                detail: format!(
+                                    "{detail} (heal ladder exhausted after {respawns} respawn(s) \
+                                     and {} degradation(s))",
+                                    transitions.len()
+                                ),
+                            });
+                        }
+                    }
                 }
                 Err(other) => return Err(other),
             }
@@ -811,6 +999,7 @@ impl StreamingSession {
             effective_forgetting: step_cfg.forgetting,
             numerics,
             metrics,
+            heal: None,
         };
         if let Some(c) = &report.comm {
             self.comm_totals.merge(c);
@@ -1268,7 +1457,7 @@ mod tests {
         let err = sess
             .ingest_with_recovery(&s0, &RecoveryPolicy::default())
             .unwrap_err();
-        assert!(!matches!(err, TensorError::ClusterFault(_)));
+        assert!(!matches!(err, TensorError::ClusterFault { .. }));
         assert_eq!(sess.steps(), 1);
     }
 

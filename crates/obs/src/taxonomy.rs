@@ -25,6 +25,9 @@
 //!   virtual wire, partition holds, time advances, deadlock wakes).
 //! - `membership/*` — elastic worker join/leave events and the ownership
 //!   migration / plan-invalidation work they trigger.
+//! - `heal/*` — the supervision layer's crash-heal ladder: respawn
+//!   replays, backoff spent, degraded-world transitions, and terminal
+//!   give-ups.
 //!
 //! Adding a metric means adding its name to the matching table below in
 //! the same change that introduces the call site; the L3 lint fails
@@ -60,6 +63,8 @@ pub const SPANS: &[&str] = &[
     "phase/setup",
     "phase/solve",
     "phase/validate",
+    // heal family: one span per replayed ingest attempt of the heal loop.
+    "heal/replay",
 ];
 
 /// Registered counter names (monotone event tallies).
@@ -68,6 +73,11 @@ pub const COUNTERS: &[&str] = &[
     // f32 (logical sizes stay in the comm/msg_bytes histogram).
     "comm/compressed_bytes",
     "comm/downcast_rows",
+    // heal family: supervision-ladder decisions and the backoff they cost.
+    "heal/backoff_ns",
+    "heal/degraded",
+    "heal/giveup",
+    "heal/respawn",
     "ingest/quarantined",
     // membership family: elastic join/leave and the migration work.
     "membership/join",
@@ -80,6 +90,7 @@ pub const COUNTERS: &[&str] = &[
     "sim/deadlock_wakes",
     "sim/held_messages",
     "sim/messages",
+    "sim/rejoin_delays",
     "sim/time_advances",
     "solve/tier",
     "watchdog/restart",
@@ -149,6 +160,7 @@ mod tests {
             "solve/",
             "sim/",
             "membership/",
+            "heal/",
         ];
         for table in [SPANS, COUNTERS, GAUGES, HISTOGRAMS] {
             for name in table {

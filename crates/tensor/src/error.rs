@@ -83,9 +83,18 @@ pub enum TensorError {
     InvalidArgument(String),
     /// The distributed cluster failed mid-operation (worker crash, receive
     /// timeout, collective mismatch).  Carries the rendered
-    /// `ClusterError` from the cluster crate; the recovery driver in the
-    /// core crate matches on this variant to trigger restore-and-replay.
-    ClusterFault(String),
+    /// `ClusterError` from the cluster crate plus, when attributable, the
+    /// rank at fault; the recovery and supervision drivers in the core
+    /// crate match on this variant to trigger restore-and-replay, and the
+    /// heal ladder keys its per-rank respawn budgets on `rank`.
+    ClusterFault {
+        /// The worker at fault — the crashed rank, or the peer a timeout
+        /// was waiting on.  `None` when the failure has no single culprit
+        /// (e.g. a payload type mismatch).
+        rank: Option<usize>,
+        /// Rendered description of the underlying cluster error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -123,7 +132,7 @@ impl fmt::Display for TensorError {
             }
             TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
-            TensorError::ClusterFault(msg) => write!(f, "cluster fault: {msg}"),
+            TensorError::ClusterFault { detail, .. } => write!(f, "cluster fault: {detail}"),
         }
     }
 }
@@ -164,7 +173,10 @@ mod tests {
             },
             TensorError::EmptyShape,
             TensorError::InvalidArgument("nope".into()),
-            TensorError::ClusterFault("worker 2 crashed: boom".into()),
+            TensorError::ClusterFault {
+                rank: Some(2),
+                detail: "worker 2 crashed: boom".into(),
+            },
         ];
         for v in variants {
             // Every variant must render something non-empty and not panic.

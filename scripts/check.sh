@@ -29,6 +29,9 @@ echo "==> deterministic-simulation smoke sweep (16 seeds; CI runs 64)"
 # bit-for-bit.
 DISMASTD_DST_SEEDS=16 cargo test -q -p dismastd-integration-tests --test sim_dst
 
+echo "==> barrier crash races on SimNet seeds (loom scenarios, ordinary build)"
+DISMASTD_DST_SEEDS=16 cargo test -q -p dismastd-cluster --test sim_barrier_crash
+
 echo "==> example smoke run (miniature end-to-end pipeline)"
 DISMASTD_SMOKE=1 cargo run -q --release -p dismastd-examples --bin quickstart > /dev/null
 

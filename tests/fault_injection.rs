@@ -264,9 +264,10 @@ fn crash_without_recovery_fails_promptly_with_typed_error() {
     let started = Instant::now();
     let err = sess.ingest(&s1).unwrap_err();
     match &err {
-        TensorError::ClusterFault(msg) => {
-            assert!(msg.contains("worker 1 crashed"), "msg = {msg}");
-            assert!(msg.contains("fault injection"), "msg = {msg}");
+        TensorError::ClusterFault { rank, detail } => {
+            assert_eq!(*rank, Some(1), "fault attributed to the crashed rank");
+            assert!(detail.contains("worker 1 crashed"), "detail = {detail}");
+            assert!(detail.contains("fault injection"), "detail = {detail}");
         }
         other => panic!("expected ClusterFault, got {other:?}"),
     }
@@ -291,8 +292,8 @@ fn recovery_gives_up_once_the_retry_budget_is_exhausted() {
     let policy = RecoveryPolicy::default().with_max_retries(2);
     let err = sess.ingest_with_recovery(&s1, &policy).unwrap_err();
     match err {
-        TensorError::ClusterFault(msg) => {
-            assert!(msg.contains("retry budget"), "msg = {msg}")
+        TensorError::ClusterFault { detail, .. } => {
+            assert!(detail.contains("retry budget"), "detail = {detail}")
         }
         other => panic!("expected ClusterFault, got {other:?}"),
     }
@@ -477,7 +478,7 @@ fn frame_corruption_surfaces_as_a_typed_error_not_silent_damage() {
 
     let started = Instant::now();
     let err = sess.ingest(&s1).unwrap_err();
-    assert!(matches!(err, TensorError::ClusterFault(_)), "{err:?}");
+    assert!(matches!(err, TensorError::ClusterFault { .. }), "{err:?}");
     assert!(
         started.elapsed() < Duration::from_secs(15),
         "corruption abort must beat the receive deadline; took {:?}",
@@ -507,7 +508,7 @@ fn on_disk_checkpoint_survives_a_simulated_process_death() {
     let err = doomed
         .ingest_with_recovery(&s1, &policy.clone().with_max_retries(1))
         .unwrap_err();
-    assert!(matches!(err, TensorError::ClusterFault(_)));
+    assert!(matches!(err, TensorError::ClusterFault { .. }));
     drop(doomed); // process death
 
     // A fresh process restores the pre-step checkpoint and replays.

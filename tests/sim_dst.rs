@@ -22,7 +22,10 @@
 //! plugged into a one-off scenario.
 
 use dismastd_cluster::{ClusterOptions, FaultPlan, PartitionWindow, SimOptions, SimProbe};
-use dismastd_core::{ClusterConfig, DecompConfig, ExecutionMode, ShadowOracle, StreamingSession};
+use dismastd_core::{
+    ClusterConfig, DecompConfig, ExecutionMode, HealPolicy, HealTransition, ShadowOracle,
+    StepReport, StreamingSession, VirtualClock,
+};
 use dismastd_data::StreamSequence;
 use dismastd_integration_tests::random_tensor;
 use dismastd_tensor::TensorError;
@@ -220,6 +223,349 @@ fn restore_with_world_rejects_zero_and_serial_mismatch() {
     }
     // world 1 is the identity restore for a serial checkpoint.
     StreamingSession::from_checkpoint_with_world(ckpt, 1).expect("serial -> world 1 is fine");
+}
+
+// ---- supervised crash-and-rejoin (the `heal_` sweep; CI runs it as its
+// ---- own matrix entry) ---------------------------------------------------
+
+/// Heal policy for the sweeps: seeded backoff spent through a virtual
+/// clock, so the exponential ladder costs zero wall-clock.
+fn heal_policy(seed: u64) -> HealPolicy {
+    HealPolicy::default()
+        .with_backoff_seed(seed)
+        .with_clock(Arc::new(VirtualClock::new()))
+}
+
+fn final_bits(s: &StreamingSession) -> Vec<Vec<u64>> {
+    s.factors()
+        .expect("factors after the stream")
+        .factors()
+        .iter()
+        .map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Runs the 3-step stream with `ingest_with_heal`, arming `chaos` (layered
+/// on the seed's simulator) before step `crash_step`.  With `join_at`, one
+/// worker joins right before the crash step, so the heal replays race an
+/// in-flight membership change.  Panics (with the seed) if any step fails
+/// to heal or the shadow oracle disagrees.
+fn run_heal_scenario(
+    seed: u64,
+    start_world: usize,
+    crash_step: usize,
+    join_at: bool,
+    chaos: impl Fn(SimOptions) -> ClusterOptions,
+) -> (Vec<StepReport>, Vec<Vec<u64>>) {
+    let cfg = dst_cfg();
+    let full = random_tensor(&[12, 10, 8], 400, 17);
+    let seq = StreamSequence::cut(&full, &[0.6, 0.8, 1.0]).expect("cuts");
+
+    let mut observed = StreamingSession::new(
+        cfg,
+        ExecutionMode::Distributed(ClusterConfig::new(start_world)),
+    );
+    observed.set_cluster_options(ClusterOptions::default().with_sim(SimOptions::from_seed(seed)));
+    observed.set_heal_policy(heal_policy(seed));
+    let mut oracle = ShadowOracle::new(cfg, ClusterConfig::new(start_world));
+
+    let mut reports = Vec::new();
+    for (t, snap) in seq.iter().enumerate() {
+        if t == crash_step {
+            if join_at {
+                observed
+                    .request_join(1)
+                    .unwrap_or_else(|e| panic!("seed {seed}: join request failed: {e}"));
+            }
+            observed.set_cluster_options(chaos(SimOptions::from_seed(seed)));
+        }
+        let report = observed
+            .ingest_with_heal(snap)
+            .unwrap_or_else(|e| panic!("seed {seed}: step {t} failed to heal: {e}"));
+        reports.push(report);
+        oracle
+            .check_step(snap, &observed)
+            .unwrap_or_else(|e| panic!("seed {seed}: shadow check failed after heal: {e}"));
+    }
+    (reports, final_bits(&observed))
+}
+
+/// A fault-free reference run of the same stream: `start_world` workers,
+/// optionally shrunk/grown by `delta` before step `change_at`.
+fn clean_reference(start_world: usize, delta: isize, change_at: usize) -> Vec<Vec<u64>> {
+    let cfg = dst_cfg();
+    let full = random_tensor(&[12, 10, 8], 400, 17);
+    let seq = StreamSequence::cut(&full, &[0.6, 0.8, 1.0]).expect("cuts");
+    let mut s = StreamingSession::new(
+        cfg,
+        ExecutionMode::Distributed(ClusterConfig::new(start_world)),
+    );
+    for (t, snap) in seq.iter().enumerate() {
+        if t == change_at {
+            if delta > 0 {
+                s.request_join(delta as usize).expect("join");
+            } else if delta < 0 {
+                s.request_leave(delta.unsigned_abs()).expect("leave");
+            }
+        }
+        s.ingest(snap).expect("clean reference step");
+    }
+    final_bits(&s)
+}
+
+/// A worker crashes early in the step (first exchange); the supervisor
+/// respawns it from the pre-step checkpoint and the healed stream is
+/// bit-identical to a fault-free run at the same world — without the
+/// caller ever seeing an error.
+#[test]
+fn heal_crash_during_exchange_survives_the_seed_sweep() {
+    let clean = clean_reference(3, 0, usize::MAX);
+    for seed in sweep_seeds() {
+        let (reports, bits) = run_heal_scenario(seed, 3, 1, false, |sim| {
+            ClusterOptions::default().with_sim(sim.with_crash_and_rejoin(1, 2, 0))
+        });
+        let heal = reports[1].heal.as_ref().expect("heal report on step 1");
+        assert_eq!(heal.respawns, 1, "seed {seed}: one respawn heals the crash");
+        assert!(heal.backoff_ns > 0, "seed {seed}: backoff must be spent");
+        assert!(!heal.degraded, "seed {seed}: no degradation needed");
+        assert_eq!(
+            reports[1].retries, 1,
+            "seed {seed}: retries mirrors respawns"
+        );
+        assert_eq!(
+            bits, clean,
+            "seed {seed}: healed factors must be bit-identical to a fault-free run"
+        );
+    }
+}
+
+/// The crash lands late in the step (inside the ALS solve iterations);
+/// same contract.
+#[test]
+fn heal_crash_during_solve_survives_the_seed_sweep() {
+    let clean = clean_reference(3, 0, usize::MAX);
+    for seed in sweep_seeds() {
+        let (reports, bits) = run_heal_scenario(seed, 3, 1, false, |sim| {
+            ClusterOptions::default().with_sim(sim.with_crash_and_rejoin(2, 9, 0))
+        });
+        let heal = reports[1].heal.as_ref().expect("heal report on step 1");
+        assert_eq!(heal.respawns, 1, "seed {seed}");
+        assert_eq!(
+            bits, clean,
+            "seed {seed}: healed factors must be bit-identical to a fault-free run"
+        );
+    }
+}
+
+/// The same rank dies twice (the crash survives the first replay); the
+/// default budget of two respawns absorbs both.
+#[test]
+fn heal_double_crash_of_the_same_rank_survives_the_seed_sweep() {
+    let clean = clean_reference(3, 0, usize::MAX);
+    for seed in sweep_seeds() {
+        let (reports, bits) = run_heal_scenario(seed, 3, 1, false, |sim| {
+            ClusterOptions::default()
+                .with_sim(sim)
+                .with_fault_plan(Arc::new(
+                    FaultPlan::seeded(seed ^ 0xDEAD).crash_worker_at_collective_times(1, 3, 2),
+                ))
+        });
+        let heal = reports[1].heal.as_ref().expect("heal report on step 1");
+        assert_eq!(
+            heal.respawns, 2,
+            "seed {seed}: both crashes must be respawned through"
+        );
+        assert!(!heal.degraded, "seed {seed}");
+        assert_eq!(bits, clean, "seed {seed}: bit-identical after double heal");
+    }
+}
+
+/// The crash races an **in-flight membership change**: a join is queued
+/// for the same step the crash fires in.  The join is applied at the step
+/// boundary before the rollback checkpoint is taken, so every replay
+/// re-runs in the already-grown world and the result matches a fault-free
+/// elastic join.
+#[test]
+fn heal_crash_during_membership_change_survives_the_seed_sweep() {
+    let clean = clean_reference(2, 1, 1);
+    for seed in sweep_seeds() {
+        let (reports, bits) = run_heal_scenario(seed, 2, 1, true, |sim| {
+            ClusterOptions::default().with_sim(sim.with_crash_and_rejoin(1, 2, 0))
+        });
+        let heal = reports[1].heal.as_ref().expect("heal report on step 1");
+        assert!(heal.respawns >= 1, "seed {seed}");
+        assert_eq!(
+            bits, clean,
+            "seed {seed}: heal must preserve the in-flight join's outcome"
+        );
+    }
+}
+
+/// A rank that keeps dying exhausts its respawn budget; instead of
+/// failing, the supervisor falls back to a **degraded world** — the
+/// stream continues at reduced parallelism with a typed transition on the
+/// report, and the shadow oracle stays green across the shrink.
+#[test]
+fn heal_budget_exhaustion_degrades_instead_of_failing() {
+    // The departing rank is the highest (world 3 -> 2 drops rank 2), so
+    // after the shrink the armed crash has no rank to fire on.
+    let clean = clean_reference(3, -1, 1);
+    for seed in sweep_seeds() {
+        let cfg = dst_cfg();
+        let full = random_tensor(&[12, 10, 8], 400, 17);
+        let seq = StreamSequence::cut(&full, &[0.6, 0.8, 1.0]).expect("cuts");
+
+        let mut observed =
+            StreamingSession::new(cfg, ExecutionMode::Distributed(ClusterConfig::new(3)));
+        observed
+            .set_cluster_options(ClusterOptions::default().with_sim(SimOptions::from_seed(seed)));
+        observed.set_heal_policy(heal_policy(seed).with_max_respawns(1));
+        let mut oracle = ShadowOracle::new(cfg, ClusterConfig::new(3));
+
+        let mut reports = Vec::new();
+        for (t, snap) in seq.iter().enumerate() {
+            if t == 1 {
+                // Rank 2 dies at its 3rd collective on every attempt.
+                observed.set_cluster_options(
+                    ClusterOptions::default()
+                        .with_sim(SimOptions::from_seed(seed))
+                        .with_fault_plan(Arc::new(
+                            FaultPlan::seeded(seed ^ 0xFA11).crash_worker_at_collective_times(
+                                2,
+                                3,
+                                u32::MAX,
+                            ),
+                        )),
+                );
+            }
+            let report = observed
+                .ingest_with_heal(snap)
+                .unwrap_or_else(|e| panic!("seed {seed}: step {t} must degrade, not fail: {e}"));
+            reports.push(report);
+            oracle
+                .check_step(snap, &observed)
+                .unwrap_or_else(|e| panic!("seed {seed}: shadow check failed: {e}"));
+        }
+
+        let heal = reports[1].heal.as_ref().expect("heal report on step 1");
+        assert!(heal.degraded, "seed {seed}: the step must degrade");
+        assert_eq!(
+            heal.transitions,
+            vec![HealTransition::Degraded {
+                from_world: 3,
+                to_world: 2,
+            }],
+            "seed {seed}: exactly one typed degradation"
+        );
+        assert_eq!(heal.respawns, 1, "seed {seed}: the budget was spent first");
+        match observed.mode() {
+            ExecutionMode::Distributed(cc) => {
+                assert_eq!(
+                    cc.workers, 2,
+                    "seed {seed}: the stream continues at world 2"
+                )
+            }
+            other => panic!("seed {seed}: expected distributed mode, got {other:?}"),
+        }
+        assert_eq!(
+            final_bits(&observed),
+            clean,
+            "seed {seed}: the degraded stream must match a voluntary leave at the same step"
+        );
+    }
+}
+
+/// When degradation is disabled the exhausted ladder surfaces a typed
+/// `ClusterFault` annotated with the heal history — not a hang, not a
+/// panic — and the session stays usable on its rolled-back state.
+#[test]
+fn heal_ladder_exhaustion_is_a_typed_error() {
+    let cfg = dst_cfg();
+    let full = random_tensor(&[12, 10, 8], 400, 17);
+    let seq = StreamSequence::cut(&full, &[0.6, 1.0]).expect("cuts");
+    let snaps: Vec<_> = seq.iter().collect();
+
+    let mut sess = StreamingSession::new(cfg, ExecutionMode::Distributed(ClusterConfig::new(2)));
+    sess.ingest(snaps[0]).expect("clean step 0");
+    sess.set_heal_policy(heal_policy(5).with_max_respawns(1).with_degraded(false));
+    sess.set_cluster_options(
+        ClusterOptions::default()
+            .with_sim(SimOptions::from_seed(5))
+            .with_fault_plan(Arc::new(
+                FaultPlan::seeded(5).crash_worker_at_collective_times(1, 2, u32::MAX),
+            )),
+    );
+    match sess.ingest_with_heal(snaps[1]) {
+        Err(TensorError::ClusterFault { rank, detail }) => {
+            assert_eq!(rank, Some(1), "the fault stays attributed");
+            assert!(
+                detail.contains("heal ladder exhausted"),
+                "the error carries the heal history: {detail}"
+            );
+        }
+        other => panic!("expected a typed ClusterFault, got {other:?}"),
+    }
+    // The rolled-back session still works once the chaos is lifted.
+    sess.set_cluster_options(ClusterOptions::default());
+    sess.ingest(snaps[1]).expect("post-give-up step");
+}
+
+// ---- restore_with_world / from_checkpoint_with_world error paths ---------
+
+#[test]
+fn restore_with_world_file_error_paths_are_typed() {
+    let dir = std::env::temp_dir();
+
+    // Missing file.
+    let missing = dir.join("dismastd_dst_no_such_ckpt.json");
+    let _ = std::fs::remove_file(&missing);
+    match StreamingSession::restore_with_world(&missing, 2) {
+        Err(TensorError::InvalidArgument(msg)) => {
+            assert!(msg.contains("checkpoint read"), "unexpected message: {msg}")
+        }
+        other => panic!("missing checkpoint must fail typed, got {other:?}"),
+    }
+
+    // Corrupt JSON.
+    let corrupt = dir.join("dismastd_dst_corrupt_ckpt.json");
+    std::fs::write(&corrupt, b"{\"cfg\": not json").expect("write corrupt file");
+    match StreamingSession::restore_with_world(&corrupt, 2) {
+        Err(TensorError::InvalidArgument(msg)) => {
+            assert!(
+                msg.contains("checkpoint decode"),
+                "unexpected message: {msg}"
+            )
+        }
+        other => panic!("corrupt checkpoint must fail typed, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&corrupt);
+
+    // A real checkpoint file, restored with invalid world sizes.
+    let cfg = dst_cfg();
+    let full = random_tensor(&[10, 9, 8], 200, 3);
+    let seq = StreamSequence::cut(&full, &[1.0]).expect("cuts");
+    let mut serial = StreamingSession::new(cfg, ExecutionMode::Serial);
+    serial
+        .ingest(seq.iter().next().expect("one snapshot"))
+        .expect("ingest");
+    let valid = dir.join("dismastd_dst_serial_ckpt.json");
+    serial.checkpoint(&valid).expect("write checkpoint");
+
+    match StreamingSession::restore_with_world(&valid, 0) {
+        Err(TensorError::InvalidArgument(msg)) => {
+            assert!(msg.contains("workers"), "unexpected message: {msg}")
+        }
+        other => panic!("workers=0 from file must fail typed, got {other:?}"),
+    }
+    match StreamingSession::restore_with_world(&valid, 3) {
+        Err(TensorError::InvalidArgument(msg)) => {
+            assert!(msg.contains("serial"), "unexpected message: {msg}")
+        }
+        other => panic!("serial->3 from file must fail typed, got {other:?}"),
+    }
+    // The identity restore from the same file stays fine.
+    StreamingSession::restore_with_world(&valid, 1).expect("serial -> world 1");
+    let _ = std::fs::remove_file(&valid);
 }
 
 #[test]
