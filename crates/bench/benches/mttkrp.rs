@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dismastd_data::{uniform_tensor, zipf_tensor};
 use dismastd_tensor::mttkrp::{mttkrp, mttkrp_into};
-use dismastd_tensor::{Matrix, MttkrpPlan};
+use dismastd_tensor::{Matrix, MttkrpPlan, ThreadPool};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -81,7 +81,7 @@ fn bench_naive_vs_layout(c: &mut Criterion) {
         .iter()
         .map(|&s| Matrix::random(s, rank, &mut rng))
         .collect();
-    let plan = MttkrpPlan::build(&t);
+    let plan = MttkrpPlan::build(&t).expect("fits u32 layout");
     let mut out = Matrix::zeros(shape[1], rank);
     group.throughput(Throughput::Elements(t.nnz() as u64));
     group.bench_function(BenchmarkId::new("naive", t.nnz()), |b| {
@@ -101,8 +101,44 @@ fn bench_naive_vs_layout(c: &mut Criterion) {
     // Amortisation context: what one layout build costs relative to the
     // kernels it accelerates (paid once per cell per snapshot).
     group.bench_function(BenchmarkId::new("build", t.nnz()), |b| {
-        b.iter(|| MttkrpPlan::build(&t).nnz())
+        b.iter(|| MttkrpPlan::build(&t).expect("fits u32 layout").nnz())
     });
+    group.finish();
+}
+
+/// Thread-scaling axis: the pooled layout kernel and the pooled build on
+/// the same 80k-nnz Zipf case, at 1/2/4 pool lanes.  Results depend on
+/// the machine's core count — rows recorded in `bench_results` carry the
+/// thread count and the cores available so numbers from different boxes
+/// stay comparable (a 1-core container shows no scaling by construction).
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp/threads");
+    let shape = [400usize, 300, 200];
+    let nnz = 80_000;
+    let rank = 10;
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let t = zipf_tensor(&shape, nnz, &[1.1, 1.1, 1.1], &mut rng).expect("feasible");
+    let factors: Vec<Matrix> = shape
+        .iter()
+        .map(|&s| Matrix::random(s, rank, &mut rng))
+        .collect();
+    let plan = MttkrpPlan::build(&t).expect("fits u32 layout");
+    let mut out = Matrix::zeros(shape[1], rank);
+    group.throughput(Throughput::Elements(t.nnz() as u64));
+    for &threads in &[1usize, 2, 4] {
+        let pool = ThreadPool::new(threads);
+        group.bench_function(BenchmarkId::new("kernel", threads), |b| {
+            b.iter(|| {
+                out.fill_zero();
+                plan.mttkrp_into_pooled(&factors, 1, &mut out, &pool)
+                    .expect("runs");
+                out.get(0, 0)
+            })
+        });
+        group.bench_function(BenchmarkId::new("build", threads), |b| {
+            b.iter(|| MttkrpPlan::build_with(&t, &pool).expect("fits").nnz())
+        });
+    }
     group.finish();
 }
 
@@ -111,6 +147,7 @@ criterion_group!(
     bench_mttkrp_nnz,
     bench_mttkrp_rank,
     bench_mttkrp_order,
-    bench_naive_vs_layout
+    bench_naive_vs_layout,
+    bench_threads
 );
 criterion_main!(benches);

@@ -37,6 +37,10 @@ const WORLD: usize = 4;
 struct AllreduceBench {
     algo: String,
     world: usize,
+    /// Per-rank kernel pool width the default policy would resolve to for
+    /// this world — stamped so every row in the report names its thread
+    /// context even though the allreduce itself runs on the rank threads.
+    threads: usize,
     buffer_len: usize,
     reps: usize,
     /// Slowest rank's mean seconds per allreduce.
@@ -47,6 +51,15 @@ struct AllreduceBench {
 struct PolicyRun {
     policy: String,
     iterations: f64,
+    /// Per-rank kernel pool width the config resolved to for this world.
+    threads: usize,
+    /// Cores the host exposes — context for the thread column on shared or
+    /// single-core boxes.
+    cores: usize,
+    /// Grid cells the adaptive selector kept on the naive COO kernel.
+    cells_coo: u64,
+    /// Grid cells the selector promoted to the sorted-run plan.
+    cells_plan: u64,
     logical_bytes: u64,
     wire_bytes: u64,
     compressed_bytes: u64,
@@ -122,6 +135,10 @@ fn run_policy(
     Ok(PolicyRun {
         policy: name.to_string(),
         iterations: report.iterations as f64,
+        threads: cfg.threads.resolve_for_world(WORLD),
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cells_coo: metrics.counter_value("plan/adaptive_coo"),
+        cells_plan: metrics.counter_value("plan/adaptive_plan"),
         logical_bytes: comm.bytes,
         wire_bytes: comm.wire_bytes(),
         compressed_bytes: comm.compressed_bytes,
@@ -153,6 +170,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         benchmarks.push(AllreduceBench {
             algo: name.to_string(),
             world: WORLD,
+            threads: dismastd_core::ThreadPolicy::default().resolve_for_world(WORLD),
             buffer_len: len,
             reps,
             secs_per_op: secs,

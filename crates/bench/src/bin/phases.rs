@@ -22,6 +22,12 @@ use dismastd_core::{ClusterConfig, DecompConfig, ExecutionMode, StepReport, Stre
 use dismastd_data::{DatasetSpec, StreamSequence};
 use std::collections::BTreeMap;
 
+/// Cores the host actually exposes — recorded next to the thread policy so
+/// rows from a 1-core container are not mistaken for a scaling failure.
+fn host_cores() -> f64 {
+    std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64)
+}
+
 /// The non-overlapping phase spans, in pipeline order.
 const PHASES: [&str; 10] = [
     "phase/validate",
@@ -129,6 +135,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("elapsed_s".into(), report.elapsed.as_secs_f64()),
             ("phase_total_s".into(), phase_ns / 1e9),
             ("iterations".into(), report.iterations as f64),
+            // Intra-worker parallelism context: the per-rank pool width the
+            // config resolved to, the host's core budget, and how the
+            // adaptive selector split the grid cells between the naive COO
+            // kernel and the sorted-run plan.
+            (
+                "threads".into(),
+                cfg.threads.resolve_for_world(workers as usize) as f64,
+            ),
+            ("cores".into(), host_cores()),
+            (
+                "cells_coo".into(),
+                metrics.counter_value("plan/adaptive_coo") as f64,
+            ),
+            (
+                "cells_plan".into(),
+                metrics.counter_value("plan/adaptive_plan") as f64,
+            ),
         ]);
         if let Some(comm) = &report.comm {
             extra.insert("bytes_total".into(), comm.bytes as f64);

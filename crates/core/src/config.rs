@@ -1,6 +1,6 @@
 //! Decomposition configuration.
 
-use dismastd_tensor::{SolvePolicy, ValidationMode};
+use dismastd_tensor::{SolvePolicy, ThreadPolicy, ValidationMode};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -29,6 +29,13 @@ pub struct DecompConfig {
     /// [`Deserialize`] impl — so checkpoints written before this field
     /// existed stay readable.
     pub numerics: NumericsPolicy,
+    /// Intra-worker thread budget for the MTTKRP kernels and plan builds.
+    /// `Auto` (the default) honours `DISMASTD_THREADS` and falls back to
+    /// the machine's available parallelism; `Fixed(n)` pins the count.
+    /// Thread count never changes factor bits (the pooled kernels are
+    /// bitwise identical to serial), so this is purely a throughput knob.
+    /// Optional on decode, like `numerics`.
+    pub threads: ThreadPolicy,
 }
 
 // Hand-written so `numerics` is optional: checkpoints serialized before the
@@ -49,6 +56,10 @@ impl Deserialize for DecompConfig {
                 Ok(nested) => Deserialize::from_value(nested)?,
                 Err(_) => NumericsPolicy::default(),
             },
+            threads: match serde::field(obj, "threads") {
+                Ok(nested) => Deserialize::from_value(nested)?,
+                Err(_) => ThreadPolicy::default(),
+            },
         })
     }
 }
@@ -62,6 +73,7 @@ impl Default for DecompConfig {
             tolerance: 0.0,
             seed: 42,
             numerics: NumericsPolicy::default(),
+            threads: ThreadPolicy::default(),
         }
     }
 }
@@ -106,6 +118,12 @@ impl DecompConfig {
     /// Returns the config with a different ingest validation mode.
     pub fn with_validation(mut self, mode: ValidationMode) -> Self {
         self.numerics.validation = mode;
+        self
+    }
+
+    /// Returns the config with a different intra-worker thread policy.
+    pub fn with_threads(mut self, threads: ThreadPolicy) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -382,6 +400,17 @@ mod tests {
         let cfg: DecompConfig = serde_json::from_str(legacy).unwrap();
         assert_eq!(cfg.rank, 4);
         assert_eq!(cfg.numerics, NumericsPolicy::default());
+        // `threads` postdates `numerics`; legacy checkpoints get `Auto`.
+        assert_eq!(cfg.threads, ThreadPolicy::Auto);
+    }
+
+    #[test]
+    fn thread_policy_round_trips_through_the_config() {
+        let cfg = DecompConfig::default().with_threads(ThreadPolicy::Fixed(4));
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: DecompConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.threads, ThreadPolicy::Fixed(4));
+        assert_eq!(back, cfg);
     }
 
     #[test]

@@ -33,11 +33,13 @@ use dismastd_cluster::{
     CommPolicy, CommStatsSnapshot, Framed, Payload, PendingExchange, WorkerCtx,
 };
 use dismastd_obs::MetricsSnapshot;
+use dismastd_partition::CellStats;
 use dismastd_partition::{CellAssignment, GridPartition, Partitioner};
-use dismastd_tensor::layout::{fingerprint, MttkrpPlan};
+use dismastd_tensor::layout::fingerprint;
 use dismastd_tensor::linalg::Factorized;
 use dismastd_tensor::matrix::{dot, Matrix};
 use dismastd_tensor::ops::{grand_sum_hadamard, hadamard_skip};
+use dismastd_tensor::{AdaptivePolicy, CellKernel, LayoutChoice, ThreadPool};
 use dismastd_tensor::{
     KruskalTensor, NumericsReport, Result, RobustSolver, SolveDecision, SparseTensor,
     SparseTensorBuilder, TensorError,
@@ -191,21 +193,23 @@ impl DistOutput {
     }
 }
 
-/// Cache of compiled MTTKRP layouts keyed by grid-cell content.
+/// Cache of per-cell MTTKRP kernels keyed by grid-cell content.
 ///
-/// The driver builds one [`MttkrpPlan`] per non-empty grid cell at
-/// partitioning time; the plan is then reused by every iteration and mode
-/// of the decomposition.  Holding the cache across calls (see
+/// The driver compiles one [`CellKernel`] per non-empty grid cell at
+/// partitioning time — the adaptive layout selector picks the COO kernel
+/// or a sorted-run plan from the cell's `partition::stats::CellStats` —
+/// and the kernel is then reused by every iteration and mode of the
+/// decomposition.  Holding the cache across calls (see
 /// [`dismastd_with_cache`]) extends the reuse across *stream steps*: a
 /// cell whose nonzeros did not change between snapshots hashes to the same
-/// [`fingerprint`] and keeps its layout, so only cells touched by the
-/// update are re-sorted.
+/// [`fingerprint`] and keeps its kernel (and its layout choice), so only
+/// cells touched by the update are re-selected and re-sorted.
 ///
 /// After every build the cache drops entries whose cells are no longer
 /// present, so its size is bounded by the live cell count.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    entries: BTreeMap<u64, Arc<MttkrpPlan>>,
+    entries: BTreeMap<u64, Arc<CellKernel>>,
     hits: u64,
     misses: u64,
 }
@@ -236,17 +240,37 @@ impl PlanCache {
         self.misses
     }
 
-    /// Plan for `cell`, building (and retaining) it on first sight.
-    fn get_or_build(&mut self, cell: &SparseTensor) -> (u64, Arc<MttkrpPlan>) {
-        let key = fingerprint(cell);
-        if let Some(plan) = self.entries.get(&key) {
+    /// Cached cells per layout choice, `(coo, plan)` — stamped into bench
+    /// rows so recorded numbers say which kernels produced them.
+    pub fn layout_counts(&self) -> (usize, usize) {
+        let coo = self
+            .entries
+            .values()
+            .filter(|k| k.choice() == LayoutChoice::NaiveCoo)
+            .count();
+        (coo, self.entries.len() - coo)
+    }
+
+    /// Kernel for `cell`, selecting and building (and retaining) it on
+    /// first sight.  The layout decision feeds on the cell's
+    /// [`CellStats`]; plan builds run on `pool`.
+    fn get_or_build(
+        &mut self,
+        cell: SparseTensor,
+        policy: &AdaptivePolicy,
+        pool: &ThreadPool,
+    ) -> Result<(u64, Arc<CellKernel>)> {
+        let key = fingerprint(&cell);
+        if let Some(kernel) = self.entries.get(&key) {
             self.hits += 1;
-            return (key, Arc::clone(plan));
+            return Ok((key, Arc::clone(kernel)));
         }
         self.misses += 1;
-        let plan = Arc::new(MttkrpPlan::build(cell));
-        self.entries.insert(key, Arc::clone(&plan));
-        (key, plan)
+        let stats = CellStats::measure(cell.shape(), cell.nnz());
+        let choice = policy.choose_measured(stats.nnz, stats.max_dim, stats.slice_density);
+        let kernel = Arc::new(CellKernel::build(cell, choice, pool)?);
+        self.entries.insert(key, Arc::clone(&kernel));
+        Ok((key, kernel))
     }
 
     /// Evicts every entry whose key is not in `live`.
@@ -268,9 +292,10 @@ impl PlanCache {
 
 /// Per-worker placement plan, precomputed once per snapshot.
 struct WorkerPlan {
-    /// Compiled MTTKRP layouts of this worker's grid cells; executing them
-    /// back to back accumulates exactly this worker's local partials.
-    cells: Vec<Arc<MttkrpPlan>>,
+    /// Compiled MTTKRP kernels of this worker's grid cells (COO or
+    /// sorted-run, per the adaptive selector); executing them back to back
+    /// accumulates exactly this worker's local partials.
+    cells: Vec<Arc<CellKernel>>,
     /// Nonzeros across this worker's cells.
     local_nnz: usize,
     /// Rows of each mode whose factor entries this worker owns and updates.
@@ -454,10 +479,22 @@ fn run_distributed(
         )?
     };
     let (hits_before, misses_before) = (cache.hits(), cache.misses());
+    // Driver-side pool for the plan builds (full machine budget — the
+    // workers are not running yet); the selector policy rides defaults.
+    let build_pool = ThreadPool::new(cfg.threads.resolve());
+    let layout_policy = AdaptivePolicy::default();
     let plans = {
         let _s = dismastd_obs::span("phase/plan_build");
-        Arc::new(build_plans(tensor, &grid, world, cache)?)
+        Arc::new(build_plans(
+            tensor,
+            &grid,
+            world,
+            cache,
+            &layout_policy,
+            &build_pool,
+        )?)
     };
+    drop(build_pool);
     if cache.hits() > hits_before {
         dismastd_obs::counter_add("plan/cache_hit", cache.hits() - hits_before);
     }
@@ -687,6 +724,11 @@ fn worker_body(
     // message-payload pool for the two row exchanges.
     let mut ws = GramWorkspace::new(r);
     let mut pool = BufferPool::new(pooling);
+    // Intra-worker kernel pool: the machine budget split across the
+    // co-resident ranks.  Thread count never changes factor bits (the
+    // pooled kernels are bitwise identical to serial), so the replicated
+    // state stays in sync whatever each rank resolves to.
+    let kernel_pool = ThreadPool::new(cfg.threads.resolve_for_world(world));
 
     // Replicated RxR state, rebuilt by all-reduce from owned-row partials so
     // every worker agrees bit-for-bit.
@@ -740,7 +782,7 @@ fn worker_body(
                 let _s = dismastd_obs::span("phase/mttkrp");
                 hat[n].fill_zero();
                 for cell in &plan.cells {
-                    try_num!(cell.mttkrp_into(&factors, n, &mut hat[n]));
+                    try_num!(cell.mttkrp_into(&factors, n, &mut hat[n], &kernel_pool));
                 }
             }
 
@@ -1157,6 +1199,8 @@ fn build_plans(
     grid: &GridPartition,
     world: usize,
     cache: &mut PlanCache,
+    policy: &AdaptivePolicy,
+    pool: &ThreadPool,
 ) -> Result<Vec<WorkerPlan>> {
     let order = tensor.order();
     // Per-cell nonzeros: the cell is the caching unit, so each non-empty
@@ -1179,18 +1223,18 @@ fn build_plans(
         }
     }
 
-    // Compile (or reuse) the layout of every populated cell.
-    let mut cells_by_worker: Vec<Vec<Arc<MttkrpPlan>>> = vec![Vec::new(); world];
+    // Select and compile (or reuse) the kernel of every populated cell.
+    let mut cells_by_worker: Vec<Vec<Arc<CellKernel>>> = vec![Vec::new(); world];
     let mut local_nnz = vec![0usize; world];
     let mut live_keys = Vec::with_capacity(cell_builders.len());
     for (cell, builder) in cell_builders {
         let sub = builder.build()?;
         let w = grid.worker_of(sub.index(0));
         debug_assert_eq!(grid.cell_of(sub.index(0)), cell);
-        let (key, plan) = cache.get_or_build(&sub);
+        let (key, kernel) = cache.get_or_build(sub, policy, pool)?;
         live_keys.push(key);
-        local_nnz[w] += plan.nnz();
-        cells_by_worker[w].push(plan);
+        local_nnz[w] += kernel.nnz();
+        cells_by_worker[w].push(kernel);
     }
     cache.retain_live(&live_keys);
 

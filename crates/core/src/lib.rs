@@ -46,7 +46,8 @@ pub use dismastd_cluster::{
 };
 pub use dismastd_obs::MetricsSnapshot;
 pub use dismastd_tensor::{
-    NumericsReport, QuarantineCounts, SolvePolicy, SolveTier, ValidationMode,
+    AdaptivePolicy, LayoutChoice, NumericsReport, QuarantineCounts, SolvePolicy, SolveTier,
+    ThreadPolicy, ValidationMode,
 };
 pub use distributed::{
     dismastd, dismastd_with_cache, dismastd_with_opts, dms_mg, dms_mg_with_cache, dms_mg_with_opts,

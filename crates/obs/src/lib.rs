@@ -13,6 +13,20 @@
 //! clock when disabled, so instrumented kernels stay at their uninstrumented
 //! speed (the disabled-mode cost contract; see DESIGN.md "Observability").
 //!
+//! ## Dropped-metric accounting
+//!
+//! A recording call on a thread with **no** registry while some *other*
+//! thread is collecting is almost always a bug: a helper thread (a pool
+//! worker, a cluster rank) that forgot to install a child registry, whose
+//! spans and counters would vanish silently.  Such calls are tallied into
+//! a process-wide atomic; [`Collector::finish`] stamps the tally observed
+//! during its collection window onto
+//! [`MetricsSnapshot::dropped_metrics`], and [`dropped_metrics`] exposes
+//! the raw process-wide counter.  Threads that *do* install a child
+//! registry hand their snapshot back to the spawning thread via
+//! [`absorb`], which folds it into the installed registry so the final
+//! snapshot reconciles across every participating thread.
+//!
 //! ```
 //! use dismastd_obs as obs;
 //! let collector = obs::begin();
@@ -44,7 +58,29 @@ pub mod taxonomy;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Live collectors, process-wide.  Dropped-metric tallying is gated on
+/// this: a no-registry recording only counts as *dropped* while someone,
+/// somewhere in the process, is collecting.
+static ACTIVE_COLLECTORS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of metric recordings that hit a thread with no
+/// installed registry while a collector was live (see the module docs).
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn count_dropped() {
+    if ACTIVE_COLLECTORS.load(Ordering::Relaxed) > 0 {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The process-wide dropped-metrics counter (monotone; see module docs).
+pub fn dropped_metrics() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
 
 /// Label value meaning "no label": spans/counters recorded without an
 /// explicit label use this sentinel, so label `0` stays usable (mode 0).
@@ -85,10 +121,19 @@ struct Inner {
     counters: BTreeMap<(&'static str, u64), u64>,
     gauges: BTreeMap<(&'static str, u64), f64>,
     histograms: BTreeMap<&'static str, HistAgg>,
+    /// Snapshots handed back by helper threads via [`absorb`], merged
+    /// into the final snapshot at collection time.
+    absorbed: MetricsSnapshot,
 }
 
 impl Inner {
     fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.own_snapshot();
+        snap.merge(&self.absorbed);
+        snap
+    }
+
+    fn own_snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             spans: self
                 .spans
@@ -129,6 +174,7 @@ impl Inner {
                     buckets: agg.buckets.to_vec(),
                 })
                 .collect(),
+            dropped_metrics: 0,
         }
     }
 }
@@ -137,13 +183,14 @@ thread_local! {
     static REGISTRY: RefCell<Option<Box<Inner>>> = const { RefCell::new(None) };
 }
 
-/// Runs `f` against the installed registry, or does nothing.
+/// Runs `f` against the installed registry; without one, the recording is
+/// a no-op that bumps the process-wide dropped tally when a collector is
+/// live elsewhere.
 #[inline]
 fn with_inner(f: impl FnOnce(&mut Inner)) {
-    REGISTRY.with(|r| {
-        if let Some(inner) = r.borrow_mut().as_mut() {
-            f(inner);
-        }
+    REGISTRY.with(|r| match r.borrow_mut().as_mut() {
+        Some(inner) => f(inner),
+        None => count_dropped(),
     });
 }
 
@@ -159,22 +206,39 @@ pub fn installed() -> bool {
 #[must_use = "metrics are discarded unless the collector is finished"]
 pub fn begin() -> Collector {
     let prev = REGISTRY.with(|r| r.borrow_mut().replace(Box::new(Inner::default())));
-    Collector { prev, active: true }
+    ACTIVE_COLLECTORS.fetch_add(1, Ordering::Relaxed);
+    Collector {
+        prev,
+        active: true,
+        dropped_at_begin: DROPPED.load(Ordering::Relaxed),
+    }
 }
 
 /// Handle to an installed registry; see [`begin`].
 pub struct Collector {
     prev: Option<Box<Inner>>,
     active: bool,
+    dropped_at_begin: u64,
 }
 
 impl Collector {
     /// Uninstalls the registry, restores the displaced one, and returns
     /// everything recorded on this thread since [`begin`].
+    ///
+    /// The snapshot's [`MetricsSnapshot::dropped_metrics`] carries the
+    /// process-wide dropped tally observed during this collection window
+    /// (a zero means no thread lost a recording while this collector was
+    /// live; see the module docs).
     pub fn finish(mut self) -> MetricsSnapshot {
         self.active = false;
+        ACTIVE_COLLECTORS.fetch_sub(1, Ordering::Relaxed);
         let inner = REGISTRY.with(|r| std::mem::replace(&mut *r.borrow_mut(), self.prev.take()));
-        inner.map(|i| i.snapshot()).unwrap_or_default()
+        let mut snap = inner.map(|i| i.snapshot()).unwrap_or_default();
+        let window = DROPPED
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.dropped_at_begin);
+        snap.dropped_metrics = snap.dropped_metrics.max(window);
+        snap
     }
 }
 
@@ -183,9 +247,22 @@ impl Drop for Collector {
         if self.active {
             // Abandoned mid-collection (error path): restore the displaced
             // registry and discard what was recorded.
+            ACTIVE_COLLECTORS.fetch_sub(1, Ordering::Relaxed);
             REGISTRY.with(|r| *r.borrow_mut() = self.prev.take());
         }
     }
+}
+
+/// Folds a helper thread's finished snapshot into this thread's installed
+/// registry, so spans and counters recorded on pool workers or cluster
+/// ranks land in the spawning collector's final snapshot.  Without an
+/// installed registry the snapshot is lost and counted as one dropped
+/// recording.
+pub fn absorb(snap: &MetricsSnapshot) {
+    REGISTRY.with(|r| match r.borrow_mut().as_mut() {
+        Some(inner) => inner.absorbed.merge(snap),
+        None => count_dropped(),
+    });
 }
 
 /// Scoped timer: measures from creation to drop and records into the
@@ -231,6 +308,7 @@ pub fn span_with(name: &'static str, label: u64) -> SpanGuard {
     let start = if installed() {
         Some(Instant::now())
     } else {
+        count_dropped();
         None
     };
     SpanGuard { name, label, start }
@@ -345,10 +423,18 @@ pub struct MetricsSnapshot {
     pub counters: Vec<CounterStat>,
     pub gauges: Vec<GaugeStat>,
     pub histograms: Vec<HistogramStat>,
+    /// Process-wide recordings observed to hit a registry-less thread
+    /// during this snapshot's collection window (see [`dropped_metrics`]).
+    /// Zero means every recording made while collecting landed in *some*
+    /// registry.  Windows overlap (a worker's window nests inside the
+    /// driver's), so [`merge`](Self::merge) takes the max, never the sum.
+    pub dropped_metrics: u64,
 }
 
 impl MetricsSnapshot {
-    /// True when nothing was recorded.
+    /// True when nothing was recorded.  Deliberately ignores
+    /// [`dropped_metrics`](Self::dropped_metrics): the field describes
+    /// process-wide losses, not this registry's contents.
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
             && self.counters.is_empty()
@@ -451,6 +537,10 @@ impl MetricsSnapshot {
                 None => self.histograms.push(h.clone()),
             }
         }
+        // Collection windows overlap (worker windows nest inside the
+        // driver's, and both read one process-wide counter), so the max
+        // is the loss bound — summing would double-count.
+        self.dropped_metrics = self.dropped_metrics.max(other.dropped_metrics);
         self.spans
             .sort_by(|a, b| (&a.name, a.label).cmp(&(&b.name, b.label)));
         self.counters
@@ -507,6 +597,12 @@ impl MetricsSnapshot {
                     h.name, h.count, h.total
                 ));
             }
+        }
+        if self.dropped_metrics > 0 {
+            out.push_str(&format!(
+                "dropped_metrics: {} (recordings hit a thread with no registry)\n",
+                self.dropped_metrics
+            ));
         }
         if out.is_empty() {
             out.push_str("(no metrics recorded)\n");
@@ -694,17 +790,64 @@ mod tests {
     }
 
     #[test]
-    fn registries_are_per_thread() {
+    fn registries_are_per_thread_and_leaks_are_counted() {
         let c = begin();
         counter_add("main", 1);
+        let before = dropped_metrics();
         std::thread::spawn(|| {
             assert!(!installed(), "registry must not leak across threads");
-            counter_add("other", 1); // no-op
+            counter_add("other", 1); // no registry: dropped, and counted
         })
         .join()
         .expect("thread ok");
+        assert!(
+            dropped_metrics() > before,
+            "a cross-thread recording while collecting must be tallied"
+        );
         let snap = c.finish();
         assert_eq!(snap.counter_value("main"), 1);
         assert_eq!(snap.counter_value("other"), 0);
+        assert!(
+            snap.dropped_metrics >= 1,
+            "the collection window must report the loss"
+        );
+    }
+
+    #[test]
+    fn absorb_folds_a_child_snapshot_into_the_collector() {
+        let c = begin();
+        counter_add("parent", 1);
+        let child = std::thread::spawn(|| {
+            let child = begin();
+            counter_add("parent", 2);
+            counter_add("child-only", 5);
+            {
+                let _s = span!("kernel/child");
+            }
+            child.finish()
+        })
+        .join()
+        .expect("thread ok");
+        absorb(&child);
+        let snap = c.finish();
+        assert_eq!(snap.counter_value("parent"), 3);
+        assert_eq!(snap.counter_value("child-only"), 5);
+        assert!(snap.spans.iter().any(|s| s.name == "kernel/child"));
+    }
+
+    #[test]
+    fn merge_takes_the_max_of_dropped_tallies() {
+        let mut a = MetricsSnapshot {
+            dropped_metrics: 3,
+            ..MetricsSnapshot::default()
+        };
+        let b = MetricsSnapshot {
+            dropped_metrics: 7,
+            ..MetricsSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dropped_metrics, 7, "overlapping windows: max, not sum");
+        assert!(a.is_empty(), "dropped tally alone is not recorded data");
+        assert!(a.to_text().contains("dropped_metrics: 7"));
     }
 }

@@ -19,8 +19,10 @@
 //! - `comm/*`   — collective-communication spans and wire-size
 //!   histograms.
 //! - `plan/*`, `watchdog/*`, `ingest/*`, `solve/*` — event counters for
-//!   plan caching, divergence restarts, quarantined ingest, and the
-//!   solve-tier escalation ladder.
+//!   plan caching (including the adaptive layout selector's choices),
+//!   divergence restarts, quarantined ingest, and the solve-tier
+//!   escalation ladder.
+//! - `pool/*` — intra-worker thread-pool events (chunks executed).
 //! - `sim/*` — deterministic-simulation scheduler events (messages on the
 //!   virtual wire, partition holds, time advances, deadlock wakes).
 //! - `membership/*` — elastic worker join/leave events and the ownership
@@ -84,8 +86,14 @@ pub const COUNTERS: &[&str] = &[
     "membership/leave",
     "membership/migrated_rows",
     "membership/plan_invalidations",
+    // plan family: cache traffic and the adaptive per-cell layout
+    // selector's choices (COO kernel vs sorted-run plan).
+    "plan/adaptive_coo",
+    "plan/adaptive_plan",
     "plan/cache_hit",
     "plan/rebuild",
+    // pool family: intra-worker thread-pool work items.
+    "pool/chunks",
     // sim family: virtual-network scheduler events.
     "sim/deadlock_wakes",
     "sim/held_messages",
@@ -155,6 +163,7 @@ mod tests {
             "phase/",
             "comm/",
             "plan/",
+            "pool/",
             "watchdog/",
             "ingest/",
             "solve/",

@@ -79,6 +79,17 @@ pub enum TensorError {
     /// A tensor was constructed with an empty shape or a zero-length mode
     /// where that is not permitted.
     EmptyShape,
+    /// A quantity exceeded the `u32` index space of the compressed MTTKRP
+    /// layout (`MttkrpPlan` stores entry positions and factor-row indices
+    /// as `u32`).  Building a plan for such a tensor would silently
+    /// truncate coordinates, so the build refuses instead; callers fall
+    /// back to the COO kernel, which indexes with `usize`.
+    PlanOverflow {
+        /// Which quantity overflowed (`"nnz"` or `"shape dimension"`).
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
     /// Generic invalid-argument error.
     InvalidArgument(String),
     /// The distributed cluster failed mid-operation (worker crash, receive
@@ -131,6 +142,13 @@ impl fmt::Display for TensorError {
                 )
             }
             TensorError::EmptyShape => write!(f, "tensor shape must be non-empty"),
+            TensorError::PlanOverflow { what, value } => {
+                write!(
+                    f,
+                    "MTTKRP plan overflow: {what} = {value} exceeds the u32 layout \
+                     index space; use the COO kernel for this tensor"
+                )
+            }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             TensorError::ClusterFault { detail, .. } => write!(f, "cluster fault: {detail}"),
         }
@@ -172,6 +190,10 @@ mod tests {
                 detail: "loss became NaN at iteration 3".into(),
             },
             TensorError::EmptyShape,
+            TensorError::PlanOverflow {
+                what: "nnz",
+                value: u64::MAX,
+            },
             TensorError::InvalidArgument("nope".into()),
             TensorError::ClusterFault {
                 rank: Some(2),

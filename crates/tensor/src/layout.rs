@@ -26,10 +26,12 @@
 use crate::coo::SparseTensor;
 use crate::error::{Result, TensorError};
 use crate::matrix::Matrix;
+use crate::pool::ThreadPool;
+use std::sync::{Mutex, PoisonError};
 
 /// Compressed execution layout for one mode: entries sorted by output row
 /// with run boundaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct ModePlan {
     /// Output row of each run (strictly increasing).
     rows: Vec<u32>,
@@ -52,15 +54,51 @@ pub struct MttkrpPlan {
 
 impl MttkrpPlan {
     /// Builds the per-mode layouts with one stable counting sort per mode.
-    pub fn build(tensor: &SparseTensor) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`TensorError::PlanOverflow`] when the tensor's nnz or any
+    /// shape dimension exceeds the layout's `u32` index space — building
+    /// would silently truncate coordinates through the `as u32` casts.
+    /// Callers fall back to the COO kernel, which indexes with `usize`.
+    pub fn build(tensor: &SparseTensor) -> Result<Self> {
+        check_plan_bounds(tensor)?;
         let _span = dismastd_obs::span("kernel/plan_build");
         let order = tensor.order();
         let modes = (0..order).map(|m| build_mode(tensor, m)).collect();
-        MttkrpPlan {
+        Ok(MttkrpPlan {
             shape: tensor.shape().to_vec(),
             nnz: tensor.nnz(),
             modes,
-        }
+        })
+    }
+
+    /// Like [`build`](MttkrpPlan::build), with the per-mode counting sorts
+    /// executed on `pool` (one chunk per mode).  Each mode's layout is a
+    /// pure function of the tensor and lands in its own slot, so the
+    /// result is identical to the serial build for every pool size.
+    ///
+    /// # Errors
+    /// Same as [`build`](MttkrpPlan::build).
+    pub fn build_with(tensor: &SparseTensor, pool: &ThreadPool) -> Result<Self> {
+        check_plan_bounds(tensor)?;
+        let _span = dismastd_obs::span("kernel/plan_build");
+        let order = tensor.order();
+        let slots: Vec<Mutex<ModePlan>> = (0..order)
+            .map(|_| Mutex::new(ModePlan::default()))
+            .collect();
+        pool.run(order, &|m| {
+            let built = build_mode(tensor, m);
+            *slots[m].lock().unwrap_or_else(PoisonError::into_inner) = built;
+        });
+        let modes = slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        Ok(MttkrpPlan {
+            shape: tensor.shape().to_vec(),
+            nnz: tensor.nnz(),
+            modes,
+        })
     }
 
     /// Shape of the tensor the plan was built from.
@@ -131,71 +169,69 @@ impl MttkrpPlan {
             .filter(|&k| k != mode)
             .map(|k| &factors[k])
             .collect();
-        // Per-entry work is fused into a single pass over the R lanes; the
-        // product is formed left-to-right in ascending mode order, so every
-        // partial is bit-identical to the COO kernel's multi-pass version.
-        let mut acc = vec![0.0f64; r];
-        let mut rows_scratch: Vec<&[f64]> = Vec::with_capacity(km);
-        for run in 0..mp.rows.len() {
-            let lo = mp.run_ptr[run] as usize;
-            let hi = mp.run_ptr[run + 1] as usize;
-            acc.fill(0.0);
-            match km {
-                1 => {
-                    let f0 = others[0];
-                    for e in lo..hi {
-                        let v = mp.vals[e];
-                        let a = f0.row(mp.cols[e] as usize);
-                        for (s, &av) in acc.iter_mut().zip(a) {
-                            *s += v * av;
-                        }
-                    }
-                }
-                2 => {
-                    let (f0, f1) = (others[0], others[1]);
-                    for e in lo..hi {
-                        let v = mp.vals[e];
-                        let a = f0.row(mp.cols[2 * e] as usize);
-                        let b = f1.row(mp.cols[2 * e + 1] as usize);
-                        for ((s, &av), &bv) in acc.iter_mut().zip(a).zip(b) {
-                            *s += v * av * bv;
-                        }
-                    }
-                }
-                3 => {
-                    let (f0, f1, f2) = (others[0], others[1], others[2]);
-                    for e in lo..hi {
-                        let v = mp.vals[e];
-                        let a = f0.row(mp.cols[3 * e] as usize);
-                        let b = f1.row(mp.cols[3 * e + 1] as usize);
-                        let c = f2.row(mp.cols[3 * e + 2] as usize);
-                        for (((s, &av), &bv), &cv) in acc.iter_mut().zip(a).zip(b).zip(c) {
-                            *s += v * av * bv * cv;
-                        }
-                    }
-                }
-                _ => {
-                    for e in lo..hi {
-                        let v = mp.vals[e];
-                        rows_scratch.clear();
-                        for (j, &col) in mp.cols[e * km..e * km + km].iter().enumerate() {
-                            rows_scratch.push(others[j].row(col as usize));
-                        }
-                        for (c, s) in acc.iter_mut().enumerate() {
-                            let mut p = v;
-                            for row in &rows_scratch {
-                                p *= row[c];
-                            }
-                            *s += p;
-                        }
-                    }
-                }
-            }
-            let dst = out.row_mut(mp.rows[run] as usize);
-            for (d, &a) in dst.iter_mut().zip(&acc) {
+        accumulate_runs(mp, &others, km, r, 0..mp.rows.len(), |row, acc| {
+            let dst = out.row_mut(row);
+            for (d, &a) in dst.iter_mut().zip(acc) {
                 *d += a;
             }
+        });
+        Ok(())
+    }
+
+    /// Accumulates the mode-`mode` MTTKRP into `out` on `pool`, chunking
+    /// the run list into entry-balanced ranges.
+    ///
+    /// Runs are row-disjoint by construction and chunks partition the run
+    /// list, so each chunk owns its output rows outright and the per-row
+    /// left-to-right accumulation order is untouched — the result is
+    /// bitwise identical to [`mttkrp_into`](Self::mttkrp_into) for every
+    /// pool size (a single-lane pool takes the serial path directly).
+    ///
+    /// # Errors
+    /// Returns a shape error if `factors` or `out` disagree with the plan.
+    pub fn mttkrp_into_pooled(
+        &self,
+        factors: &[Matrix],
+        mode: usize,
+        out: &mut Matrix,
+        pool: &ThreadPool,
+    ) -> Result<()> {
+        let n_runs = self.modes.get(mode).map_or(0, |mp| mp.rows.len());
+        if pool.threads() <= 1 || n_runs < 2 {
+            return self.mttkrp_into(factors, mode, out);
         }
+        let r = self.check_factors(factors, mode)?;
+        if out.shape() != (factors[mode].rows(), r) {
+            return Err(TensorError::ShapeMismatch {
+                op: "MttkrpPlan::mttkrp_into output",
+                left: vec![factors[mode].rows(), r],
+                right: vec![out.rows(), out.cols()],
+            });
+        }
+        let _span = dismastd_obs::span_with("kernel/mttkrp_plan", mode as u64);
+        let order = self.order();
+        let km = order - 1;
+        let mp = &self.modes[mode];
+        let others: Vec<&Matrix> = (0..order)
+            .filter(|&k| k != mode)
+            .map(|k| &factors[k])
+            .collect();
+        let n_chunks = (pool.threads() * CHUNKS_PER_THREAD).min(n_runs);
+        let bounds = chunk_runs(mp, n_chunks);
+        let stride = out.cols();
+        let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+        pool.run(n_chunks, &|c| {
+            let ptr = out_ptr;
+            accumulate_runs(mp, &others, km, r, bounds[c]..bounds[c + 1], |row, acc| {
+                // Safety: runs are row-disjoint and chunks partition the
+                // run list, so no two chunks touch the same output row;
+                // `row < out.rows()` is guaranteed by `check_factors`.
+                let dst = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(row * stride), r) };
+                for (d, &a) in dst.iter_mut().zip(acc) {
+                    *d += a;
+                }
+            });
+        });
         Ok(())
     }
 
@@ -233,6 +269,138 @@ impl MttkrpPlan {
         }
         Ok(r)
     }
+}
+
+/// Chunks claimed per pool lane in [`MttkrpPlan::mttkrp_into_pooled`]:
+/// more chunks than lanes so a skewed run distribution still balances via
+/// work stealing, few enough that chunk overhead stays negligible.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Raw output pointer for the pooled kernel.  Chunks write disjoint rows
+/// (runs are row-disjoint and chunks partition the run list), so sharing
+/// the pointer across pool threads is race-free.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f64);
+
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Rejects tensors whose layout tables would truncate through the `u32`
+/// casts in [`build_mode`].  Must run before any per-mode allocation: an
+/// oversized dimension would otherwise attempt a multi-gigabyte counting
+/// buffer before the first cast even executes.
+fn check_plan_bounds(tensor: &SparseTensor) -> Result<()> {
+    if tensor.nnz() as u64 > u64::from(u32::MAX) {
+        return Err(TensorError::PlanOverflow {
+            what: "nnz",
+            value: tensor.nnz() as u64,
+        });
+    }
+    for &s in tensor.shape() {
+        if s as u64 > u64::from(u32::MAX) {
+            return Err(TensorError::PlanOverflow {
+                what: "shape dimension",
+                value: s as u64,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the per-run accumulation loop over `runs`, handing each finished
+/// `R`-vector to `write` with its output row.
+///
+/// This is the single arithmetic body shared by the serial and pooled
+/// kernels: per-entry work is fused into one pass over the R lanes and
+/// the factor product is formed left-to-right in ascending mode order, so
+/// every partial is bit-identical to the COO kernel's multi-pass version
+/// no matter which execution path (or chunk) drives the loop.
+fn accumulate_runs(
+    mp: &ModePlan,
+    others: &[&Matrix],
+    km: usize,
+    r: usize,
+    runs: std::ops::Range<usize>,
+    mut write: impl FnMut(usize, &[f64]),
+) {
+    let mut acc = vec![0.0f64; r];
+    let mut rows_scratch: Vec<&[f64]> = Vec::with_capacity(km);
+    for run in runs {
+        let lo = mp.run_ptr[run] as usize;
+        let hi = mp.run_ptr[run + 1] as usize;
+        acc.fill(0.0);
+        match km {
+            1 => {
+                let f0 = others[0];
+                for e in lo..hi {
+                    let v = mp.vals[e];
+                    let a = f0.row(mp.cols[e] as usize);
+                    for (s, &av) in acc.iter_mut().zip(a) {
+                        *s += v * av;
+                    }
+                }
+            }
+            2 => {
+                let (f0, f1) = (others[0], others[1]);
+                for e in lo..hi {
+                    let v = mp.vals[e];
+                    let a = f0.row(mp.cols[2 * e] as usize);
+                    let b = f1.row(mp.cols[2 * e + 1] as usize);
+                    for ((s, &av), &bv) in acc.iter_mut().zip(a).zip(b) {
+                        *s += v * av * bv;
+                    }
+                }
+            }
+            3 => {
+                let (f0, f1, f2) = (others[0], others[1], others[2]);
+                for e in lo..hi {
+                    let v = mp.vals[e];
+                    let a = f0.row(mp.cols[3 * e] as usize);
+                    let b = f1.row(mp.cols[3 * e + 1] as usize);
+                    let c = f2.row(mp.cols[3 * e + 2] as usize);
+                    for (((s, &av), &bv), &cv) in acc.iter_mut().zip(a).zip(b).zip(c) {
+                        *s += v * av * bv * cv;
+                    }
+                }
+            }
+            _ => {
+                for e in lo..hi {
+                    let v = mp.vals[e];
+                    rows_scratch.clear();
+                    for (j, &col) in mp.cols[e * km..e * km + km].iter().enumerate() {
+                        rows_scratch.push(others[j].row(col as usize));
+                    }
+                    for (c, s) in acc.iter_mut().enumerate() {
+                        let mut p = v;
+                        for row in &rows_scratch {
+                            p *= row[c];
+                        }
+                        *s += p;
+                    }
+                }
+            }
+        }
+        write(mp.rows[run] as usize, &acc);
+    }
+}
+
+/// Entry-balanced chunk boundaries over the run list: boundary `c` lands
+/// at the first run whose end passes entry `c·nnz/n_chunks`, so a few
+/// heavy runs do not pile into one chunk.  Purely a function of the
+/// layout — the same boundaries for every pool size and execution order.
+fn chunk_runs(mp: &ModePlan, n_chunks: usize) -> Vec<usize> {
+    let n_runs = mp.rows.len();
+    let total = u64::from(mp.run_ptr[n_runs]);
+    let mut bounds = Vec::with_capacity(n_chunks + 1);
+    bounds.push(0usize);
+    for c in 1..n_chunks {
+        let target = (total * c as u64 / n_chunks as u64) as u32;
+        let pos = mp.run_ptr[1..=n_runs].partition_point(|&p| p <= target);
+        let prev = bounds[c - 1];
+        bounds.push(pos.max(prev).min(n_runs));
+    }
+    bounds.push(n_runs);
+    bounds
 }
 
 /// Stable counting sort of the entries by their mode-`mode` coordinate,
@@ -342,7 +510,7 @@ mod tests {
             .iter()
             .map(|&s| Matrix::random(s, 3, &mut rng))
             .collect();
-        let plan = MttkrpPlan::build(&t);
+        let plan = MttkrpPlan::build(&t).unwrap();
         for mode in 0..3 {
             let naive = mttkrp(&t, &factors, mode).unwrap();
             let fast = plan.mttkrp(&factors, mode).unwrap();
@@ -363,7 +531,7 @@ mod tests {
             .iter()
             .map(|&s| Matrix::random(s, 2, &mut rng))
             .collect();
-        let plan = MttkrpPlan::build(&t);
+        let plan = MttkrpPlan::build(&t).unwrap();
         for mode in 0..4 {
             let mut a = Matrix::zeros(shape[mode], 2);
             let mut b = Matrix::zeros(shape[mode], 2);
@@ -380,7 +548,7 @@ mod tests {
         let mut b = SparseTensorBuilder::new(vec![2, 2]);
         b.push(&[1, 1], 2.0).unwrap();
         let t = b.build().unwrap();
-        let plan = MttkrpPlan::build(&t);
+        let plan = MttkrpPlan::build(&t).unwrap();
         let factors = vec![
             Matrix::random(4, 2, &mut ChaCha8Rng::seed_from_u64(1)),
             Matrix::random(5, 2, &mut ChaCha8Rng::seed_from_u64(2)),
@@ -394,7 +562,7 @@ mod tests {
     #[test]
     fn empty_tensor_plan_is_a_noop() {
         let t = SparseTensor::empty(vec![3, 4]).unwrap();
-        let plan = MttkrpPlan::build(&t);
+        let plan = MttkrpPlan::build(&t).unwrap();
         assert_eq!(plan.nnz(), 0);
         let factors = vec![Matrix::zeros(3, 2), Matrix::zeros(4, 2)];
         let out = plan.mttkrp(&factors, 1).unwrap();
@@ -404,7 +572,7 @@ mod tests {
     #[test]
     fn validation_errors() {
         let t = SparseTensor::empty(vec![3, 3]).unwrap();
-        let plan = MttkrpPlan::build(&t);
+        let plan = MttkrpPlan::build(&t).unwrap();
         let good = vec![Matrix::zeros(3, 2), Matrix::zeros(3, 2)];
         assert!(plan.mttkrp(&good, 2).is_err()); // bad mode
         let short = vec![Matrix::zeros(2, 2), Matrix::zeros(3, 2)];
@@ -437,10 +605,60 @@ mod tests {
     }
 
     #[test]
+    fn plan_build_rejects_u32_overflow_shapes() {
+        // Shape-only mock: `empty` allocates nothing per dimension, so the
+        // guard is exercised without materialising 4B real entries.  The
+        // check must fire before any per-mode work — `build_mode` would
+        // otherwise attempt a 16 GiB counting buffer for this dimension.
+        let huge = u32::MAX as usize + 1;
+        let t = SparseTensor::empty(vec![huge, 2, 2]).unwrap();
+        match MttkrpPlan::build(&t) {
+            Err(TensorError::PlanOverflow { what, value }) => {
+                assert_eq!(what, "shape dimension");
+                assert_eq!(value, huge as u64);
+            }
+            other => panic!("expected PlanOverflow, got {other:?}"),
+        }
+        // The pooled build takes the same guard.
+        let pool = ThreadPool::new(2);
+        assert!(matches!(
+            MttkrpPlan::build_with(&t, &pool),
+            Err(TensorError::PlanOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn pooled_mttkrp_matches_serial_on_a_larger_tensor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let shape = [40, 30, 20];
+        let t = random_tensor(&shape, 2000, &mut rng);
+        let factors: Vec<Matrix> = shape
+            .iter()
+            .map(|&s| Matrix::random(s, 5, &mut rng))
+            .collect();
+        let plan = MttkrpPlan::build(&t).unwrap();
+        for mode in 0..3 {
+            let mut serial = Matrix::zeros(shape[mode], 5);
+            plan.mttkrp_into(&factors, mode, &mut serial).unwrap();
+            for threads in [2usize, 4] {
+                let pool = ThreadPool::new(threads);
+                let mut out = Matrix::zeros(shape[mode], 5);
+                plan.mttkrp_into_pooled(&factors, mode, &mut out, &pool)
+                    .unwrap();
+                assert_eq!(
+                    out.max_abs_diff(&serial).unwrap(),
+                    0.0,
+                    "mode {mode} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn layout_bytes_reports_heap_use() {
         let mut rng = ChaCha8Rng::seed_from_u64(10);
         let t = random_tensor(&[6, 6, 6], 50, &mut rng);
-        let plan = MttkrpPlan::build(&t);
+        let plan = MttkrpPlan::build(&t).unwrap();
         // 3 modes × (vals 8B + cols 2×4B) per entry is the floor.
         assert!(plan.layout_bytes() >= t.nnz() * 3 * 16);
     }
@@ -505,10 +723,35 @@ mod proptests {
             (shape, entries, extra, mode, seed) in problem_strategy()
         ) {
             let (t, factors) = build_problem(&shape, &entries, &extra, 2, seed);
-            let plan = MttkrpPlan::build(&t);
+            let plan = MttkrpPlan::build(&t).unwrap();
             let naive = mttkrp(&t, &factors, mode).unwrap();
             let fast = plan.mttkrp(&factors, mode).unwrap();
             prop_assert_eq!(fast.max_abs_diff(&naive).unwrap(), 0.0);
+        }
+
+        /// Pooled execution and the pooled build are bitwise identical to
+        /// the serial kernel for every tested pool size, over random
+        /// order-3..5 tensors, any mode, and oversized factors.
+        #[test]
+        fn pooled_matches_serial_for_every_thread_count(
+            (shape, entries, extra, mode, seed) in problem_strategy()
+        ) {
+            let (t, factors) = build_problem(&shape, &entries, &extra, 2, seed);
+            let plan = MttkrpPlan::build(&t).unwrap();
+            let mut serial = Matrix::zeros(factors[mode].rows(), 2);
+            plan.mttkrp_into(&factors, mode, &mut serial).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                let pool = crate::pool::ThreadPool::new(threads);
+                let par = MttkrpPlan::build_with(&t, &pool).unwrap();
+                let mut out = Matrix::zeros(factors[mode].rows(), 2);
+                par.mttkrp_into_pooled(&factors, mode, &mut out, &pool).unwrap();
+                prop_assert_eq!(
+                    out.max_abs_diff(&serial).unwrap(),
+                    0.0,
+                    "threads={}",
+                    threads
+                );
+            }
         }
 
         /// A plan built before a snapshot grow stays exact when reused with
@@ -518,7 +761,7 @@ mod proptests {
             (shape, entries, extra, mode, seed) in problem_strategy()
         ) {
             let (t, factors) = build_problem(&shape, &entries, &extra, 3, seed);
-            let plan = MttkrpPlan::build(&t);
+            let plan = MttkrpPlan::build(&t).unwrap();
             // First use, pre-grow.
             let before = plan.mttkrp(&factors, mode).unwrap();
             prop_assert_eq!(

@@ -21,6 +21,7 @@
 //!   inner products (the reused intermediates of Sec. IV-B4);
 //! * [`DenseTensor`] — a brute-force oracle for testing.
 
+pub mod adaptive;
 pub mod coo;
 pub mod dense;
 pub mod error;
@@ -30,14 +31,17 @@ pub mod linalg;
 pub mod matrix;
 pub mod mttkrp;
 pub mod ops;
+pub mod pool;
 pub mod robust;
 
+pub use adaptive::{AdaptivePolicy, CellKernel, LayoutChoice};
 pub use coo::{QuarantineCounts, SparseTensor, SparseTensorBuilder, ValidationMode};
 pub use dense::DenseTensor;
 pub use error::{Result, TensorError};
 pub use kruskal::KruskalTensor;
 pub use layout::MttkrpPlan;
 pub use matrix::Matrix;
+pub use pool::{ThreadPolicy, ThreadPool};
 pub use robust::{NumericsReport, RobustSolver, SolveDecision, SolvePolicy, SolveTier};
 
 #[cfg(test)]

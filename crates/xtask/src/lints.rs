@@ -300,8 +300,21 @@ const L2_IDENTS: &[(&str, &str)] = &[
     ),
 ];
 
+/// Thread-creation entry points (`thread::<name>`) covered by the
+/// confinement rule below.
+const L2_THREAD_ENTRY: &[&str] = &["spawn", "Builder", "scope"];
+
+/// Modules sanctioned to create threads: the worker pool owns the
+/// intra-rank lanes and the cluster runtime owns the per-rank threads.
+/// The exemption is per-rule — every other L2 check still applies there.
+fn may_spawn_threads(path: &Path) -> bool {
+    path.file_name()
+        .is_some_and(|f| f == "pool.rs" || f == "runtime.rs")
+}
+
 fn l2_determinism(path: &Path, file: &LexedFile, out: &mut Vec<Diagnostic>) {
     let toks = &file.tokens;
+    let may_spawn = may_spawn_threads(path);
     for i in 0..toks.len() {
         let t = &toks[i];
         if t.kind != TokenKind::Ident || file.in_test_code(t) {
@@ -313,6 +326,31 @@ fn l2_determinism(path: &Path, file: &LexedFile, out: &mut Vec<Diagnostic>) {
                 t,
                 LintId::Determinism,
                 format!("`{}` in a deterministic crate; {}", t.text, hint),
+            ));
+        }
+        // Threading confinement: `thread::spawn` / `thread::Builder` /
+        // `thread::scope` outside the sanctioned modules.  Ad-hoc threads
+        // bypass the pool's chunk accounting and the runtime's rank
+        // supervision, and recordings made on them are silently dropped
+        // (`::` lexes as two `:` puncts).
+        if !may_spawn
+            && t.text == "thread"
+            && is_punct(toks, i + 1, ':')
+            && is_punct(toks, i + 2, ':')
+            && toks.get(i + 3).is_some_and(|n| {
+                n.kind == TokenKind::Ident && L2_THREAD_ENTRY.contains(&n.text.as_str())
+            })
+        {
+            let entry = &toks[i + 3].text;
+            out.push(diag(
+                path,
+                t,
+                LintId::Determinism,
+                format!(
+                    "`thread::{entry}` outside pool.rs/runtime.rs; spawn through \
+                     `ThreadPool` (or the cluster runtime) so chunk accounting \
+                     and metric absorption stay intact"
+                ),
             ));
         }
         // `rand::random` — the implicitly thread-seeded helper (`::`

@@ -1,0 +1,31 @@
+//! Fixture: L2 threading confinement — raw thread creation outside
+//! `pool.rs` / `runtime.rs`, plus proof the exemption is per-rule.
+
+pub fn bad_spawn() {
+    std::thread::spawn(|| {}).join().ok();
+}
+
+pub fn bad_builder() {
+    let _b = std::thread::Builder::new();
+}
+
+pub fn bad_scope() {
+    std::thread::scope(|_s| {});
+}
+
+pub fn allowed() {
+    // lint:allow(determinism): supervised one-off worker
+    std::thread::spawn(|| {}).join().ok();
+}
+
+pub fn still_checked() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_may_spawn() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -82,6 +82,41 @@ fn l2_flags_hash_containers_and_wall_clocks() {
 }
 
 #[test]
+fn l2_confines_raw_thread_creation_to_the_sanctioned_modules() {
+    // `thread::spawn`, `thread::Builder`, and `thread::scope` all trip the
+    // confinement rule; the allow directive and test code stay clean, and
+    // the HashMap lines prove the rest of L2 still fires in this file.
+    assert_exact(
+        "l2_threading.rs",
+        &[
+            (LintId::Determinism, 5),
+            (LintId::Determinism, 9),
+            (LintId::Determinism, 13),
+            (LintId::Determinism, 21),
+            (LintId::Determinism, 22),
+        ],
+    );
+}
+
+#[test]
+fn l2_threading_exemption_is_per_rule_in_pool_and_runtime() {
+    // Linting the same source as `pool.rs` / `runtime.rs` drops only the
+    // thread-creation diagnostics — the HashMap violations must survive,
+    // or the exemption would be a blanket L2 opt-out.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/l2_threading.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    for sanctioned in ["pool.rs", "runtime.rs"] {
+        let diags = lint_source(&PathBuf::from(sanctioned), &src, LintScope::ALL);
+        let got: Vec<(LintId, u32)> = diags.iter().map(|d| (d.lint, d.line)).collect();
+        assert_eq!(
+            got,
+            vec![(LintId::Determinism, 21), (LintId::Determinism, 22)],
+            "{sanctioned}: {diags:?}"
+        );
+    }
+}
+
+#[test]
 fn l3_flags_unregistered_labels_with_a_suggestion() {
     assert_exact(
         "l3_taxonomy.rs",

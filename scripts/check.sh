@@ -23,6 +23,14 @@ echo "==> stress suites (numerics robustness + fault injection + recovery + obse
 cargo test -q -p dismastd-integration-tests --test numerics_robustness --test fault_injection \
   --test observability
 
+echo "==> pooled kernels at DISMASTD_THREADS=4 (factor bits must not move)"
+# The kernel pool honours DISMASTD_THREADS when the config says Auto; the
+# tensor suite's pooled-vs-serial proptests and the observability suite's
+# dropped-recording assertions are the ones a thread-count bug would trip.
+# CI additionally runs this whole script under a threads={1,4} matrix.
+DISMASTD_THREADS=4 cargo test -q -p dismastd-tensor
+DISMASTD_THREADS=4 cargo test -q -p dismastd-integration-tests --test observability
+
 echo "==> deterministic-simulation smoke sweep (16 seeds; CI runs 64)"
 # One u64 seed drives scheduler interleaving, link latency, partitions,
 # and fault fates; a failing seed is printed in the panic and replays

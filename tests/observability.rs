@@ -10,18 +10,33 @@
 //!    least 90% of the step's wall-clock — the instrumentation does not
 //!    lose whole phases;
 //! 4. the `comm/msg_bytes` histogram reconciles *exactly* with the
-//!    cluster's logical byte counter, faults or not.
+//!    cluster's logical byte counter, faults or not;
+//! 5. no recording is silently dropped: a collected run (including the
+//!    pooled kernels' worker threads) reports `dropped_metrics == 0`.
 
 use dismastd_cluster::{ClusterOptions, FaultPlan};
 use dismastd_core::{
     ClusterConfig, DecompConfig, ExecutionMode, MetricsSnapshot, StepReport, StreamingSession,
+    ThreadPolicy,
 };
 use dismastd_tensor::{SparseTensor, SparseTensorBuilder};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Every test in this binary runs sessions, and the dropped-metric tally
+/// is process-global (it only counts while some collector is active).  A
+/// test running a session *without* collection must therefore not overlap
+/// a test asserting `dropped_metrics == 0` under collection — serialize
+/// them all on one lock.
+fn serial() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 fn snapshot_pair() -> (SparseTensor, SparseTensor) {
     let mut rng = ChaCha8Rng::seed_from_u64(42);
@@ -52,6 +67,7 @@ fn collected_step(mode: ExecutionMode) -> StepReport {
 
 #[test]
 fn metrics_are_opt_in() {
+    let _serial = serial();
     let (s0, _) = snapshot_pair();
     let mut sess = StreamingSession::new(cfg(), ExecutionMode::Serial);
     let report = sess.ingest(&s0).unwrap();
@@ -64,6 +80,7 @@ fn metrics_are_opt_in() {
 
 #[test]
 fn serial_phase_spans_sum_within_step_elapsed() {
+    let _serial = serial();
     let report = collected_step(ExecutionMode::Serial);
     let m = report.metrics.as_ref().expect("metrics were collected");
 
@@ -94,6 +111,7 @@ fn serial_phase_spans_sum_within_step_elapsed() {
 
 #[test]
 fn distributed_metrics_cover_the_wall_clock() {
+    let _serial = serial();
     let report = collected_step(ExecutionMode::Distributed(ClusterConfig::new(2)));
     let m = report.metrics.as_ref().expect("metrics were collected");
 
@@ -153,6 +171,7 @@ fn distributed_metrics_cover_the_wall_clock() {
 
 #[test]
 fn comm_accounting_reconciles_under_fault_injection() {
+    let _serial = serial();
     let (s0, s1) = snapshot_pair();
     let mode = ExecutionMode::Distributed(ClusterConfig::new(3));
 
@@ -198,7 +217,56 @@ fn comm_accounting_reconciles_under_fault_injection() {
 }
 
 #[test]
+fn no_recording_is_dropped_under_collection() {
+    let _serial = serial();
+    // Multi-lane kernel pools: Fixed(4) over a 2-rank world gives every
+    // rank a 2-lane pool, so pool worker threads really run chunks and
+    // their child snapshots must be absorbed, not lost.  The stream is
+    // denser than `snapshot_pair` so per-cell nnz clears the adaptive
+    // selector's plan threshold — COO cells would never touch the pool.
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let full_shape = [30usize, 24, 20];
+    let mut full = SparseTensorBuilder::new(full_shape.to_vec());
+    for _ in 0..6000 {
+        let idx: Vec<usize> = full_shape.iter().map(|&s| rng.gen_range(0..s)).collect();
+        full.push(&idx, rng.gen_range(0.5..1.5)).unwrap();
+    }
+    let full = full.build().unwrap();
+    let s0 = full.restrict(&[24, 20, 16]).unwrap();
+    let s1 = full;
+    let cluster = ClusterConfig::new(2);
+    let mut sess = StreamingSession::new(
+        cfg().with_threads(ThreadPolicy::Fixed(4)),
+        ExecutionMode::Distributed(cluster),
+    );
+    sess.set_collect_metrics(true);
+    sess.ingest(&s0).unwrap();
+    let report = sess.ingest(&s1).unwrap();
+    let m = report.metrics.as_ref().expect("metrics were collected");
+    assert_eq!(
+        m.dropped_metrics,
+        0,
+        "recordings leaked to threads with no registry:\n{}",
+        m.to_text()
+    );
+    // The selector actually picked sorted-run plans somewhere, and their
+    // pooled kernels accounted every chunk.
+    assert!(
+        m.counter_value("plan/adaptive_plan") > 0,
+        "\n{}",
+        m.to_text()
+    );
+    assert!(m.counter_value("pool/chunks") > 0, "\n{}", m.to_text());
+    // Merging never sums the dropped tallies (windows overlap), so a
+    // merged clean run still reports zero.
+    let mut acc = MetricsSnapshot::default();
+    acc.merge(m);
+    assert_eq!(acc.dropped_metrics, 0);
+}
+
+#[test]
 fn snapshot_merge_and_exporters_round_trip() {
+    let _serial = serial();
     let report = collected_step(ExecutionMode::Distributed(ClusterConfig::new(2)));
     let m = report.metrics.unwrap();
     assert!(!m.is_empty());

@@ -24,7 +24,7 @@
 use dismastd_cluster::{ClusterOptions, FaultPlan, PartitionWindow, SimOptions, SimProbe};
 use dismastd_core::{
     ClusterConfig, DecompConfig, ExecutionMode, HealPolicy, HealTransition, ShadowOracle,
-    StepReport, StreamingSession, VirtualClock,
+    StepReport, StreamingSession, ThreadPolicy, VirtualClock,
 };
 use dismastd_data::StreamSequence;
 use dismastd_integration_tests::random_tensor;
@@ -131,6 +131,48 @@ fn same_seed_gives_identical_trace_and_factors() {
     let (trace_c, bits_c) = run_scenario(8, 2, 1, 1, &[], false);
     assert_ne!(trace_a, trace_c, "seed must drive the schedule trace");
     assert_eq!(bits_a, bits_c, "chaos must never change the math");
+}
+
+#[test]
+fn thread_pool_size_never_changes_the_factor_bits() {
+    // The intra-worker kernel pools chunk by row-disjoint run ranges, so
+    // the lane count is purely a throughput knob — the distributed
+    // factors must be bit-identical at every thread count.  `Fixed` pins
+    // the count directly (it ignores `DISMASTD_THREADS`), so this test
+    // cannot race other tests over the environment; the CI matrix covers
+    // the env-var path by running the whole suite under
+    // `DISMASTD_THREADS={1,4}`.
+    let run = |threads: ThreadPolicy| {
+        let cfg = dst_cfg().with_threads(threads);
+        let full = random_tensor(&[12, 10, 8], 400, 17);
+        let seq = StreamSequence::cut(&full, &[0.6, 0.8, 1.0]).expect("cuts");
+        let opts = ClusterOptions::default().with_sim(SimOptions::from_seed(11));
+        let mut observed =
+            StreamingSession::new(cfg, ExecutionMode::Distributed(ClusterConfig::new(2)));
+        observed.set_cluster_options(opts);
+        let mut oracle = ShadowOracle::new(cfg, ClusterConfig::new(2));
+        for (t, snap) in seq.iter().enumerate() {
+            observed
+                .ingest(snap)
+                .unwrap_or_else(|e| panic!("threads {threads:?}: step {t} failed: {e}"));
+            oracle
+                .check_step(snap, &observed)
+                .unwrap_or_else(|e| panic!("threads {threads:?}: shadow check failed: {e}"));
+        }
+        let bits: Vec<Vec<u64>> = observed
+            .factors()
+            .expect("factors after 3 steps")
+            .factors()
+            .iter()
+            .map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        bits
+    };
+    // Fixed(4) over a 2-rank world gives each rank a 2-lane pool (and the
+    // driver a 4-lane build pool), so the pooled paths genuinely run.
+    let serial = run(ThreadPolicy::Fixed(1));
+    let pooled = run(ThreadPolicy::Fixed(4));
+    assert_eq!(serial, pooled, "thread count must never change factor bits");
 }
 
 #[test]

@@ -304,7 +304,11 @@ pub fn write_summary(records: &[BenchRecord]) {
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
-    let mut body = String::from("{\n  \"benchmarks\": [\n");
+    // Host context up front: thread-scaling rows (e.g. `mttkrp/threads`)
+    // are only interpretable next to the core budget they ran under — a
+    // 1-core container legitimately shows no scaling.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut body = format!("{{\n  \"host_cores\": {cores},\n  \"benchmarks\": [\n");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             body.push_str(",\n");
