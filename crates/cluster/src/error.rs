@@ -121,12 +121,14 @@ fn read_str(buf: &[u8], pos: &mut usize) -> Option<String> {
     let len = read_u64(buf, pos)? as usize;
     let bytes = buf.get(*pos..*pos + len)?;
     *pos += len;
+    // lint:allow(alloc_hygiene): abort-message decoding — teardown path, the run is over
     String::from_utf8(bytes.to_vec()).ok()
 }
 
 impl ClusterError {
     /// Serialises the error for the abort fan-out message.
     pub(crate) fn encode(&self) -> Vec<u8> {
+        // lint:allow(alloc_hygiene): abort-message encoding — teardown path, the run is over
         let mut buf = Vec::new();
         match self {
             ClusterError::PeerCrashed { rank, cause } => {

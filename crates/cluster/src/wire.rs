@@ -194,6 +194,7 @@ pub fn encode_frame(rows: &[u32], values: &[f64], downcast_f32: bool) -> Vec<u8>
         "row routes must be strictly ascending"
     );
     let width = if downcast_f32 { 4 } else { 8 };
+    // lint:allow(alloc_hygiene): byte frame for the optional compression path — the f64 pool cannot hold it, and the zero-alloc gram/exchange baseline runs with compression off
     let mut frame = Vec::with_capacity(2 + 2 * rows.len() + values.len() * width);
     let mut flags = FLAG_INDICES;
     if downcast_f32 {
@@ -293,6 +294,7 @@ pub fn decode_rows(
             Ok(v)
         }
         Payload::Bytes(frame) => decode_frame(&frame, src, expected_rows, rank, pool),
+        // lint:allow(alloc_hygiene): Vec::new of length 0 never touches the heap
         Payload::Empty if expected_len == 0 => Ok(Vec::new()),
         Payload::Empty => Err(ClusterError::SizeMismatch {
             rank: src,

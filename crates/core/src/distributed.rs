@@ -724,6 +724,11 @@ fn worker_body(
     // message-payload pool for the two row exchanges.
     let mut ws = GramWorkspace::new(r);
     let mut pool = BufferPool::new(pooling);
+    // Persistent exchange tables: refilled in place every post/complete
+    // through the `_drain`/`_into` APIs, so the steady-state loop never
+    // reallocates them.
+    let mut outgoing_frames: Vec<Framed> = Vec::with_capacity(world);
+    let mut incoming_payloads: Vec<Payload> = Vec::with_capacity(world);
     // Intra-worker kernel pool: the machine budget split across the
     // co-resident ranks.  Thread count never changes factor bits (the
     // pooled kernels are bitwise identical to serial), so the replicated
@@ -772,7 +777,15 @@ fn worker_body(
             // MTTKRP below reads every factor, so the in-flight rows of the
             // previously updated mode must be written before the kernels run.
             if let Some(pr) = pending_refresh.take() {
-                complete_refresh(ctx, pr, plan, &mut factors, r, &mut pool)?;
+                complete_refresh(
+                    ctx,
+                    pr,
+                    plan,
+                    &mut factors,
+                    r,
+                    &mut pool,
+                    &mut incoming_payloads,
+                )?;
             }
 
             // -- 1. local MTTKRP partials over this worker's nonzeros -----
@@ -791,16 +804,15 @@ fn worker_body(
             // factorizations below, which depend on the Gram state alone.
             let pending_partials = {
                 let _s = dismastd_obs::span("phase/exchange");
-                let outgoing: Vec<Framed> = (0..world)
-                    .map(|d| {
-                        if d == me {
-                            Framed::plain(Payload::Empty)
-                        } else {
-                            encode_outgoing(&hat[n], &plan.partial_routes[n][d], &comm, &mut pool)
-                        }
-                    })
-                    .collect();
-                ctx.post_exchange_framed(outgoing)?
+                outgoing_frames.clear();
+                for d in 0..world {
+                    outgoing_frames.push(if d == me {
+                        Framed::plain(Payload::Empty)
+                    } else {
+                        encode_outgoing(&hat[n], &plan.partial_routes[n][d], &comm, &mut pool)
+                    });
+                }
+                ctx.post_exchange_framed_drain(&mut outgoing_frames)?
             };
 
             // -- 2. owners update their rows (Eq. 5, row-wise) -------------
@@ -831,12 +843,15 @@ fn worker_body(
                         // the typed numeric failure from rank 0.
                         let mut slots = vec![0.0f64; DECISION_SLOTS];
                         slots[0] = 1.0;
+                        // lint:allow(collective_order): rank-0-decides — every rank reaches exactly one broadcast at this seq; rank 0 flags the failure in-band before surfacing it
                         ctx.try_broadcast(0, Some(Payload::F64(slots)))?;
                         return Ok(Err(err));
                     }
                 };
+                // lint:allow(collective_order): rank-0-decides — root half of the one broadcast every rank reaches at this seq
                 ctx.try_broadcast(0, Some(Payload::F64(slots)))?
             } else {
+                // lint:allow(collective_order): rank-0-decides — receive half of the one broadcast every rank reaches at this seq
                 ctx.try_broadcast(0, None)?
             };
             let slots = payload.try_into_f64()?;
@@ -866,8 +881,8 @@ fn worker_body(
             // -- land the peers' partials before the row solves ------------
             {
                 let _s = dismastd_obs::span("phase/exchange");
-                let incoming = ctx.complete_exchange(pending_partials)?;
-                for (d, payload) in incoming.into_iter().enumerate() {
+                ctx.complete_exchange_into(pending_partials, &mut incoming_payloads)?;
+                for (d, payload) in incoming_payloads.drain(..).enumerate() {
                     if d == me {
                         continue;
                     }
@@ -916,18 +931,17 @@ fn worker_body(
             debug_assert!(pending_refresh.is_none());
             pending_refresh = {
                 let _s = dismastd_obs::span("phase/exchange");
-                let outgoing: Vec<Framed> = (0..world)
-                    .map(|d| {
-                        if d == me {
-                            Framed::plain(Payload::Empty)
-                        } else {
-                            encode_outgoing(&factors[n], &plan.serve_routes[n][d], &comm, &mut pool)
-                        }
-                    })
-                    .collect();
+                outgoing_frames.clear();
+                for d in 0..world {
+                    outgoing_frames.push(if d == me {
+                        Framed::plain(Payload::Empty)
+                    } else {
+                        encode_outgoing(&factors[n], &plan.serve_routes[n][d], &comm, &mut pool)
+                    });
+                }
                 Some(PendingRefresh {
                     mode: n,
-                    pending: ctx.post_exchange_framed(outgoing)?,
+                    pending: ctx.post_exchange_framed_drain(&mut outgoing_frames)?,
                 })
             };
 
@@ -972,7 +986,15 @@ fn worker_body(
     // Drain the final mode's in-flight refresh (the convergence break can
     // leave it posted) so every sent row is received before the gather.
     if let Some(pr) = pending_refresh.take() {
-        complete_refresh(ctx, pr, plan, &mut factors, r, &mut pool)?;
+        complete_refresh(
+            ctx,
+            pr,
+            plan,
+            &mut factors,
+            r,
+            &mut pool,
+            &mut incoming_payloads,
+        )?;
     }
     let iter_elapsed = iter_start.elapsed();
 
@@ -1031,12 +1053,13 @@ fn complete_refresh(
     factors: &mut [Matrix],
     r: usize,
     pool: &mut BufferPool,
+    incoming: &mut Vec<Payload>,
 ) -> ClusterResult<()> {
     let _s = dismastd_obs::span("phase/exchange");
     let me = ctx.rank();
     let n = pr.mode;
-    let incoming = ctx.complete_exchange(pr.pending)?;
-    for (d, payload) in incoming.into_iter().enumerate() {
+    ctx.complete_exchange_into(pr.pending, incoming)?;
+    for (d, payload) in incoming.drain(..).enumerate() {
         if d == me {
             continue;
         }

@@ -53,7 +53,25 @@
 //! serialized snapshot; durations are recorded as elapsed nanoseconds at
 //! span drop.
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc;
 pub mod taxonomy;
+
+/// Runs `f` with allocation counting suspended on this thread (see
+/// [`alloc::exempt`]).  Always available: with the `count-alloc` feature
+/// off this is a plain passthrough, so production call sites carry no
+/// `cfg` noise.
+#[inline]
+pub fn alloc_exempt<T>(f: impl FnOnce() -> T) -> T {
+    #[cfg(feature = "count-alloc")]
+    {
+        alloc::exempt(f)
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        f()
+    }
+}
 
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;

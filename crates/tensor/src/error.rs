@@ -108,6 +108,24 @@ pub enum TensorError {
     },
 }
 
+impl TensorError {
+    /// Builds a [`TensorError::ShapeMismatch`] from borrowed shapes.
+    ///
+    /// The hot kernels funnel every shape rejection through this one
+    /// out-of-line constructor so their steady-state bodies stay
+    /// allocation-free: the owned shape copies exist only here, behind a
+    /// `#[cold]` boundary that is reached solely on rejected input.
+    #[cold]
+    #[inline(never)]
+    pub fn shape_mismatch(op: &'static str, left: &[usize], right: &[usize]) -> Self {
+        TensorError::ShapeMismatch {
+            op,
+            left: left.to_vec(), // lint:allow(alloc_hygiene): cold error constructor, not steady state
+            right: right.to_vec(), // lint:allow(alloc_hygiene): cold error constructor, not steady state
+        }
+    }
+}
+
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

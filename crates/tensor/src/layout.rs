@@ -154,22 +154,17 @@ impl MttkrpPlan {
     pub fn mttkrp_into(&self, factors: &[Matrix], mode: usize, out: &mut Matrix) -> Result<()> {
         let r = self.check_factors(factors, mode)?;
         if out.shape() != (factors[mode].rows(), r) {
-            return Err(TensorError::ShapeMismatch {
-                op: "MttkrpPlan::mttkrp_into output",
-                left: vec![factors[mode].rows(), r],
-                right: vec![out.rows(), out.cols()],
-            });
+            return Err(TensorError::shape_mismatch(
+                "MttkrpPlan::mttkrp_into output",
+                &[factors[mode].rows(), r],
+                &[out.rows(), out.cols()],
+            ));
         }
         let _span = dismastd_obs::span_with("kernel/mttkrp_plan", mode as u64);
         let order = self.order();
         let km = order - 1;
         let mp = &self.modes[mode];
-        // Borrow the off-mode factors once, in ascending mode order.
-        let others: Vec<&Matrix> = (0..order)
-            .filter(|&k| k != mode)
-            .map(|k| &factors[k])
-            .collect();
-        accumulate_runs(mp, &others, km, r, 0..mp.rows.len(), |row, acc| {
+        accumulate_runs(mp, factors, mode, km, r, 0..mp.rows.len(), |row, acc| {
             let dst = out.row_mut(row);
             for (d, &a) in dst.iter_mut().zip(acc) {
                 *d += a;
@@ -202,35 +197,39 @@ impl MttkrpPlan {
         }
         let r = self.check_factors(factors, mode)?;
         if out.shape() != (factors[mode].rows(), r) {
-            return Err(TensorError::ShapeMismatch {
-                op: "MttkrpPlan::mttkrp_into output",
-                left: vec![factors[mode].rows(), r],
-                right: vec![out.rows(), out.cols()],
-            });
+            return Err(TensorError::shape_mismatch(
+                "MttkrpPlan::mttkrp_into output",
+                &[factors[mode].rows(), r],
+                &[out.rows(), out.cols()],
+            ));
         }
         let _span = dismastd_obs::span_with("kernel/mttkrp_plan", mode as u64);
         let order = self.order();
         let km = order - 1;
         let mp = &self.modes[mode];
-        let others: Vec<&Matrix> = (0..order)
-            .filter(|&k| k != mode)
-            .map(|k| &factors[k])
-            .collect();
         let n_chunks = (pool.threads() * CHUNKS_PER_THREAD).min(n_runs);
         let bounds = chunk_runs(mp, n_chunks);
         let stride = out.cols();
         let out_ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
         pool.run(n_chunks, &|c| {
             let ptr = out_ptr;
-            accumulate_runs(mp, &others, km, r, bounds[c]..bounds[c + 1], |row, acc| {
-                // Safety: runs are row-disjoint and chunks partition the
-                // run list, so no two chunks touch the same output row;
-                // `row < out.rows()` is guaranteed by `check_factors`.
-                let dst = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(row * stride), r) };
-                for (d, &a) in dst.iter_mut().zip(acc) {
-                    *d += a;
-                }
-            });
+            accumulate_runs(
+                mp,
+                factors,
+                mode,
+                km,
+                r,
+                bounds[c]..bounds[c + 1],
+                |row, acc| {
+                    // Safety: runs are row-disjoint and chunks partition the
+                    // run list, so no two chunks touch the same output row;
+                    // `row < out.rows()` is guaranteed by `check_factors`.
+                    let dst = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(row * stride), r) };
+                    for (d, &a) in dst.iter_mut().zip(acc) {
+                        *d += a;
+                    }
+                },
+            );
         });
         Ok(())
     }
@@ -238,11 +237,11 @@ impl MttkrpPlan {
     /// Validates `factors` against the plan, returning the rank.
     fn check_factors(&self, factors: &[Matrix], mode: usize) -> Result<usize> {
         if factors.len() != self.order() {
-            return Err(TensorError::ShapeMismatch {
-                op: "MttkrpPlan factors",
-                left: vec![self.order()],
-                right: vec![factors.len()],
-            });
+            return Err(TensorError::shape_mismatch(
+                "MttkrpPlan factors",
+                &[self.order()],
+                &[factors.len()],
+            ));
         }
         if mode >= self.order() {
             return Err(TensorError::InvalidMode {
@@ -253,18 +252,18 @@ impl MttkrpPlan {
         let r = factors[0].cols();
         for (k, f) in factors.iter().enumerate() {
             if f.cols() != r {
-                return Err(TensorError::ShapeMismatch {
-                    op: "MttkrpPlan factor ranks",
-                    left: vec![r],
-                    right: vec![f.cols()],
-                });
+                return Err(TensorError::shape_mismatch(
+                    "MttkrpPlan factor ranks",
+                    &[r],
+                    &[f.cols()],
+                ));
             }
             if f.rows() < self.shape[k] {
-                return Err(TensorError::ShapeMismatch {
-                    op: "MttkrpPlan factor rows",
-                    left: vec![self.shape[k]],
-                    right: vec![f.rows()],
-                });
+                return Err(TensorError::shape_mismatch(
+                    "MttkrpPlan factor rows",
+                    &[self.shape[k]],
+                    &[f.rows()],
+                ));
             }
         }
         Ok(r)
@@ -317,13 +316,21 @@ fn check_plan_bounds(tensor: &SparseTensor) -> Result<()> {
 /// no matter which execution path (or chunk) drives the loop.
 fn accumulate_runs(
     mp: &ModePlan,
-    others: &[&Matrix],
+    factors: &[Matrix],
+    mode: usize,
     km: usize,
     r: usize,
     runs: std::ops::Range<usize>,
     mut write: impl FnMut(usize, &[f64]),
 ) {
+    // Off-mode factor `j` in ascending mode order, skipping `mode` —
+    // indexed directly so callers need not collect a filtered borrow list.
+    let off = |j: usize| &factors[j + usize::from(j >= mode)];
+    // Bounded per-call scratch (R lanes + N-1 row borrows), reused across
+    // every run this call handles.
+    // lint:allow(alloc_hygiene): one bounded scratch pair per kernel call, amortised over all runs
     let mut acc = vec![0.0f64; r];
+    // lint:allow(alloc_hygiene): one bounded scratch pair per kernel call, amortised over all runs
     let mut rows_scratch: Vec<&[f64]> = Vec::with_capacity(km);
     for run in runs {
         let lo = mp.run_ptr[run] as usize;
@@ -331,7 +338,7 @@ fn accumulate_runs(
         acc.fill(0.0);
         match km {
             1 => {
-                let f0 = others[0];
+                let f0 = off(0);
                 for e in lo..hi {
                     let v = mp.vals[e];
                     let a = f0.row(mp.cols[e] as usize);
@@ -341,7 +348,7 @@ fn accumulate_runs(
                 }
             }
             2 => {
-                let (f0, f1) = (others[0], others[1]);
+                let (f0, f1) = (off(0), off(1));
                 for e in lo..hi {
                     let v = mp.vals[e];
                     let a = f0.row(mp.cols[2 * e] as usize);
@@ -352,7 +359,7 @@ fn accumulate_runs(
                 }
             }
             3 => {
-                let (f0, f1, f2) = (others[0], others[1], others[2]);
+                let (f0, f1, f2) = (off(0), off(1), off(2));
                 for e in lo..hi {
                     let v = mp.vals[e];
                     let a = f0.row(mp.cols[3 * e] as usize);
@@ -368,7 +375,7 @@ fn accumulate_runs(
                     let v = mp.vals[e];
                     rows_scratch.clear();
                     for (j, &col) in mp.cols[e * km..e * km + km].iter().enumerate() {
-                        rows_scratch.push(others[j].row(col as usize));
+                        rows_scratch.push(off(j).row(col as usize));
                     }
                     for (c, s) in acc.iter_mut().enumerate() {
                         let mut p = v;
@@ -391,6 +398,7 @@ fn accumulate_runs(
 fn chunk_runs(mp: &ModePlan, n_chunks: usize) -> Vec<usize> {
     let n_runs = mp.rows.len();
     let total = u64::from(mp.run_ptr[n_runs]);
+    // lint:allow(alloc_hygiene): O(chunks) boundary table, one per pooled call
     let mut bounds = Vec::with_capacity(n_chunks + 1);
     bounds.push(0usize);
     for c in 1..n_chunks {

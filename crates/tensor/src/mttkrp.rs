@@ -15,11 +15,11 @@ use crate::matrix::{axpy, Matrix};
 /// Validates `factors` against `tensor` and returns the common rank `R`.
 fn check_factors(tensor: &SparseTensor, factors: &[Matrix], mode: usize) -> Result<usize> {
     if factors.len() != tensor.order() {
-        return Err(TensorError::ShapeMismatch {
-            op: "mttkrp factors",
-            left: vec![tensor.order()],
-            right: vec![factors.len()],
-        });
+        return Err(TensorError::shape_mismatch(
+            "mttkrp factors",
+            &[tensor.order()],
+            &[factors.len()],
+        ));
     }
     if mode >= tensor.order() {
         return Err(TensorError::InvalidMode {
@@ -30,18 +30,18 @@ fn check_factors(tensor: &SparseTensor, factors: &[Matrix], mode: usize) -> Resu
     let r = factors[0].cols();
     for (k, f) in factors.iter().enumerate() {
         if f.cols() != r {
-            return Err(TensorError::ShapeMismatch {
-                op: "mttkrp factor ranks",
-                left: vec![r],
-                right: vec![f.cols()],
-            });
+            return Err(TensorError::shape_mismatch(
+                "mttkrp factor ranks",
+                &[r],
+                &[f.cols()],
+            ));
         }
         if f.rows() < tensor.shape()[k] {
-            return Err(TensorError::ShapeMismatch {
-                op: "mttkrp factor rows",
-                left: vec![tensor.shape()[k]],
-                right: vec![f.rows()],
-            });
+            return Err(TensorError::shape_mismatch(
+                "mttkrp factor rows",
+                &[tensor.shape()[k]],
+                &[f.rows()],
+            ));
         }
     }
     Ok(r)
@@ -90,14 +90,15 @@ pub fn mttkrp_into(
 ) -> Result<()> {
     let r = check_factors(tensor, factors, mode)?;
     if out.shape() != (factors[mode].rows(), r) {
-        return Err(TensorError::ShapeMismatch {
-            op: "mttkrp_into output",
-            left: vec![factors[mode].rows(), r],
-            right: vec![out.rows(), out.cols()],
-        });
+        return Err(TensorError::shape_mismatch(
+            "mttkrp_into output",
+            &[factors[mode].rows(), r],
+            &[out.rows(), out.cols()],
+        ));
     }
     let _span = dismastd_obs::span_with("kernel/mttkrp_naive", mode as u64);
     let order = tensor.order();
+    // lint:allow(alloc_hygiene): one bounded R-lane scratch per kernel call, amortised over all nonzeros
     let mut prod = vec![0.0f64; r];
     for (idx, v) in tensor.iter() {
         // prod = v * ⊛_{k≠mode} A_k[i_k, :]

@@ -9,9 +9,13 @@
 //! ```
 //!
 //! The directive suppresses the named lint on its own line or, when it
-//! stands alone on a line, on the line immediately below.  A reason
-//! after the `:` is mandatory by convention (reviewed like any other
-//! comment) but not machine-enforced.
+//! stands alone on a line (attribute style), on the next code line
+//! below it — blank lines and further comments in between don't break
+//! the binding.  A reason after the `:` is mandatory by convention
+//! (reviewed like any other comment) but not machine-enforced.
+//!
+//! The interprocedural lints L6–L8 live in [`crate::analyze`]; their
+//! [`LintId`]s and allow-directive plumbing are shared from here.
 
 use crate::lexer::{LexedFile, Token, TokenKind};
 use dismastd_obs::taxonomy::{self, InstrumentKind};
@@ -38,6 +42,17 @@ pub enum LintId {
     /// `thread::sleep`) outside the clock module — time must flow
     /// through the `Clock` abstraction so simulation can virtualise it.
     ClockHygiene,
+    /// L6: no collective call reachable from `worker_body` may sit
+    /// under a branch conditioned on rank-local state (interprocedural;
+    /// see [`crate::analyze`]).
+    CollectiveOrder,
+    /// L7: the transitive panic surface of every public API matches the
+    /// checked-in budget file (interprocedural).
+    PanicReachability,
+    /// L8: nothing reachable from the steady-state MTTKRP/exchange/gram
+    /// entry points calls an allocating constructor or method
+    /// (interprocedural).
+    AllocHygiene,
 }
 
 impl LintId {
@@ -48,6 +63,9 @@ impl LintId {
             LintId::SpanTaxonomy => "L3",
             LintId::ErrorHygiene => "L4",
             LintId::ClockHygiene => "L5",
+            LintId::CollectiveOrder => "L6",
+            LintId::PanicReachability => "L7",
+            LintId::AllocHygiene => "L8",
         }
     }
 
@@ -58,6 +76,9 @@ impl LintId {
             LintId::SpanTaxonomy => "span_taxonomy",
             LintId::ErrorHygiene => "error_hygiene",
             LintId::ClockHygiene => "clock_hygiene",
+            LintId::CollectiveOrder => "collective_order",
+            LintId::PanicReachability => "panic_reachability",
+            LintId::AllocHygiene => "alloc_hygiene",
         }
     }
 
@@ -68,6 +89,9 @@ impl LintId {
             "span_taxonomy" => Some(LintId::SpanTaxonomy),
             "error_hygiene" => Some(LintId::ErrorHygiene),
             "clock_hygiene" => Some(LintId::ClockHygiene),
+            "collective_order" => Some(LintId::CollectiveOrder),
+            "panic_reachability" => Some(LintId::PanicReachability),
+            "alloc_hygiene" => Some(LintId::AllocHygiene),
             _ => None,
         }
     }
@@ -96,6 +120,58 @@ impl fmt::Display for Diagnostic {
             self.message
         )
     }
+}
+
+impl Diagnostic {
+    /// One JSON object per diagnostic (one line, no trailing newline),
+    /// for `--json` consumers.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"file":"{}","line":{},"col":{},"code":"{}","lint":"{}","message":"{}"}}"#,
+            json_escape(&self.file.display().to_string()),
+            self.line,
+            self.col,
+            self.lint.code(),
+            self.lint.name(),
+            json_escape(&self.message)
+        )
+    }
+
+    /// A GitHub Actions workflow annotation (`::error …`), for
+    /// `--github` mode: failures render inline on the PR diff.
+    pub fn to_github(&self) -> String {
+        format!(
+            "::error file={},line={},col={},title={}({})::{}",
+            self.file.display(),
+            self.line,
+            self.col,
+            self.lint.code(),
+            self.lint.name(),
+            github_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The workflow-command data encoding: `%`, CR, LF must be escaped.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// Which lints run on a file; see [`crate::workspace`] for the per-crate
@@ -148,8 +224,11 @@ pub fn lint_source(path: &Path, src: &str, scope: LintScope) -> Vec<Diagnostic> 
 /// Parses `lint:allow(name[, name…])` directives out of the comments.
 ///
 /// A *trailing* directive (code precedes it on the line) covers its own
-/// line; a *standalone* comment line covers the line directly below it.
-fn collect_allows(file: &LexedFile) -> BTreeMap<u32, BTreeSet<LintId>> {
+/// line; a *standalone* comment line covers the next code line below it
+/// (attribute style — intervening blank or comment-only lines don't
+/// break the binding).  Shared with [`crate::analyze`] so the
+/// interprocedural lints honour the same escape hatch.
+pub(crate) fn collect_allows(file: &LexedFile) -> BTreeMap<u32, BTreeSet<LintId>> {
     let code_lines: BTreeSet<u32> = file.tokens.iter().map(|t| t.line).collect();
     let mut allows: BTreeMap<u32, BTreeSet<LintId>> = BTreeMap::new();
     for c in &file.comments {
@@ -158,13 +237,19 @@ fn collect_allows(file: &LexedFile) -> BTreeMap<u32, BTreeSet<LintId>> {
         };
         let rest = &c.text[start + "lint:allow(".len()..];
         let Some(end) = rest.find(')') else { continue };
+        let target = if code_lines.contains(&c.line) {
+            c.line
+        } else {
+            // Standalone: bind to the next line that carries code; fall
+            // back to the adjacent line when the file ends in comments.
+            code_lines
+                .range(c.line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(c.line + 1)
+        };
         for name in rest[..end].split(',') {
             if let Some(id) = LintId::from_name(name.trim()) {
-                let target = if code_lines.contains(&c.line) {
-                    c.line
-                } else {
-                    c.line + 1
-                };
                 allows.entry(target).or_default().insert(id);
             }
         }
@@ -200,8 +285,9 @@ fn is_punct(toks: &[Token], i: usize, c: char) -> bool {
 // ---- L1: panic-path ------------------------------------------------------
 
 /// Methods whose mere presence on a production path is a violation:
-/// `.name(` panics instead of surfacing a typed error.
-const L1_METHODS: &[(&str, &str)] = &[
+/// `.name(` panics instead of surfacing a typed error.  L7 reuses this
+/// set to count reachable panic sites.
+pub(crate) const L1_METHODS: &[(&str, &str)] = &[
     (
         "unwrap",
         "use `?`, a typed error, or a handled match instead",
@@ -226,8 +312,8 @@ const L1_METHODS: &[(&str, &str)] = &[
     ),
 ];
 
-/// Macros that abort the process on a reachable path.
-const L1_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Macros that abort the process on a reachable path (shared with L7).
+pub(crate) const L1_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 fn l1_panic_path(path: &Path, file: &LexedFile, out: &mut Vec<Diagnostic>) {
     let toks = &file.tokens;
@@ -600,6 +686,45 @@ fn prod3(x: Option<u32>) -> u32 { x.unwrap() }
         );
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn standalone_allow_binds_across_blank_and_comment_lines() {
+        let src = "\
+fn prod(x: Option<u32>) -> u32 {
+    // lint:allow(panic_path): invariant — caller checked is_some
+
+    // (the blank line and this comment must not break the binding)
+    x.unwrap()
+}
+";
+        let d = run(
+            src,
+            LintScope {
+                panic_path: true,
+                ..Default::default()
+            },
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn multi_lint_directive_covers_each_named_lint_only() {
+        let src = "\
+fn f() {
+    let t = std::time::Instant::now(); // lint:allow(determinism, clock_hygiene): backstop
+    let u = std::time::Instant::now(); // lint:allow(determinism): half-covered
+    let _ = (t, u);
+}
+";
+        let scope = LintScope {
+            determinism: true,
+            clock_hygiene: true,
+            ..Default::default()
+        };
+        let d = run(src, scope);
+        let got: Vec<(LintId, u32)> = d.iter().map(|d| (d.lint, d.line)).collect();
+        assert_eq!(got, vec![(LintId::ClockHygiene, 3)], "{d:?}");
     }
 
     #[test]

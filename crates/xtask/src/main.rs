@@ -1,6 +1,6 @@
 //! CLI for the workspace lint & audit driver; see the crate docs.
 
-use dismastd_xtask::workspace;
+use dismastd_xtask::{analyze, workspace, Diagnostic};
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
@@ -8,14 +8,52 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => run_analyze(&args[1..]),
         Some("audit") => audit(&args[1..]),
         _ => {
-            eprintln!("usage: dismastd-xtask <lint|audit> [options]");
+            eprintln!("usage: dismastd-xtask <lint|analyze|audit> [options]");
             eprintln!(
-                "  lint  [--files <f.rs>…]   run L1-L4 invariant lints (workspace by default)"
+                "  lint    [--files <f.rs>…] [--json|--github]   L1-L5 invariant lints (workspace by default)"
             );
-            eprintln!("  audit [--loom-only|--tsan-only]   loom barrier model + TSan chaos run");
+            eprintln!(
+                "  analyze [--write-budget] [--json|--github]    L6-L8 interprocedural audits (call graph)"
+            );
+            eprintln!("  audit   [--loom-only|--tsan-only]             loom barrier model + TSan chaos run");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// How findings are rendered: human `file:line:col`, one JSON object
+/// per line, or GitHub workflow annotations.
+#[derive(Clone, Copy, PartialEq)]
+enum Output {
+    Human,
+    Json,
+    Github,
+}
+
+impl Output {
+    /// Extracts `--json`/`--github` from `args`, returning the mode and
+    /// the remaining arguments.
+    fn extract(args: &[String]) -> (Output, Vec<String>) {
+        let mut mode = Output::Human;
+        let mut rest = Vec::new();
+        for a in args {
+            match a.as_str() {
+                "--json" => mode = Output::Json,
+                "--github" => mode = Output::Github,
+                _ => rest.push(a.clone()),
+            }
+        }
+        (mode, rest)
+    }
+
+    fn emit(self, d: &Diagnostic) {
+        match self {
+            Output::Human => println!("{d}"),
+            Output::Json => println!("{}", d.to_json()),
+            Output::Github => println!("{}", d.to_github()),
         }
     }
 }
@@ -36,6 +74,7 @@ fn workspace_root() -> PathBuf {
 
 fn lint(args: &[String]) -> ExitCode {
     let root = workspace_root();
+    let (out, args) = Output::extract(args);
     let (diags, files) = if args.first().map(String::as_str) == Some("--files") {
         let mut diags = Vec::new();
         for f in &args[1..] {
@@ -65,16 +104,73 @@ fn lint(args: &[String]) -> ExitCode {
         }
     };
     for d in &diags {
-        println!("{d}");
+        out.emit(d);
     }
     if diags.is_empty() {
-        println!("xtask lint: {files} files clean (L1 panic-path, L2 determinism, L3 span-taxonomy, L4 error-hygiene, L5 clock-hygiene)");
+        if out == Output::Human {
+            println!("xtask lint: {files} files clean (L1 panic-path, L2 determinism, L3 span-taxonomy, L4 error-hygiene, L5 clock-hygiene)");
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(
             "xtask lint: {} violation(s) across {files} files; \
              acknowledge deliberate ones with `// lint:allow(<name>): <reason>`",
             diags.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_analyze(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let (out, args) = Output::extract(args);
+    if args.first().map(String::as_str) == Some("--write-budget") {
+        let files = match workspace::analyzed_files(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: workspace walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let analysis = workspace::analyze_files(&files);
+        let path = root.join(workspace::BUDGET_PATH);
+        if let Err(e) = std::fs::write(&path, analyze::render_budget(&analysis.budget)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "xtask analyze: wrote {} budget entries to {}",
+            analysis.budget.len(),
+            workspace::BUDGET_PATH
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (analysis, files) = match workspace::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: workspace walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &analysis.diags {
+        out.emit(d);
+    }
+    if analysis.diags.is_empty() {
+        if out == Output::Human {
+            println!(
+                "xtask analyze: {} fns across {files} files clean (L6 collective-order, \
+                 L7 panic-budget: {} entries matched, L8 alloc-hygiene)",
+                analysis.fn_count,
+                analysis.budget.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask analyze: {} violation(s) across {files} files; hoist/fix the code, add \
+             `// lint:allow(<name>): <reason>`, or (L7 only, after review) run \
+             `cargo run -p dismastd-xtask -- analyze --write-budget`",
+            analysis.diags.len()
         );
         ExitCode::FAILURE
     }

@@ -24,6 +24,7 @@
 //! out of scope: the former is all test code, the latter is third-party
 //! stand-ins.
 
+use crate::analyze::{self, Analysis, AnalyzeConfig};
 use crate::lints::{lint_source, Diagnostic, LintScope};
 use std::path::{Path, PathBuf};
 
@@ -129,6 +130,61 @@ pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
     }
     out.sort();
     out
+}
+
+/// Directories indexed into the interprocedural call graph (L6–L8).
+/// Everything the distributed solve path can reach is here; bench,
+/// examples, and the xtask itself are not part of that graph.
+pub fn analyzed_dirs() -> Vec<&'static str> {
+    vec![
+        "crates/tensor/src",
+        "crates/partition/src",
+        "crates/core/src",
+        "crates/cluster/src",
+        "crates/data/src",
+        "crates/obs/src",
+    ]
+}
+
+/// Workspace-root-relative location of the L7 panic budget.
+pub const BUDGET_PATH: &str = "crates/xtask/panic_budget.txt";
+
+/// Reads every analyzed source file as `(root-relative path, source)`.
+pub fn analyzed_files(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    for dir in analyzed_dirs() {
+        let dir = root.join(dir);
+        if !dir.exists() {
+            continue;
+        }
+        for path in rust_files(&dir) {
+            let src = std::fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            files.push((rel, src));
+        }
+    }
+    Ok(files)
+}
+
+/// Runs the interprocedural audits (L6/L8 findings + the L7 surface
+/// checked against the on-disk budget).  Budget mismatches are appended
+/// to `Analysis::diags`; a missing budget file reads as empty, so every
+/// entry reports as unbudgeted until `--write-budget` creates it.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<(Analysis, usize)> {
+    let files = analyzed_files(root)?;
+    let count = files.len();
+    let mut analysis = analyze_files(&files);
+    let on_disk = std::fs::read_to_string(root.join(BUDGET_PATH)).unwrap_or_default();
+    let mut budget_diags =
+        analyze::compare_budget(&analysis.budget, &on_disk, Path::new(BUDGET_PATH));
+    analysis.diags.append(&mut budget_diags);
+    Ok((analysis, count))
+}
+
+/// The pure-file entry used by both [`analyze_workspace`] and the
+/// fixture tests: workspace configuration, no budget comparison.
+pub fn analyze_files(files: &[(PathBuf, String)]) -> Analysis {
+    analyze::analyze_files(files, &AnalyzeConfig::workspace())
 }
 
 /// Lints the whole workspace rooted at `root`.  Returns the diagnostics

@@ -1,0 +1,22 @@
+//! Allow-placement fixture: the trailing and standalone `lint:allow`
+//! forms, a guilty control proving the allows are not a blanket filter,
+//! and a multi-lint line where allowing one lint must leave the other
+//! live (allows are scoped per lint, not per line).
+
+fn trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(panic_path): pins the trailing form
+}
+
+fn standalone(x: Option<u32>) -> u32 {
+    // lint:allow(panic_path): pins the standalone attribute-style form
+    x.unwrap()
+}
+
+fn unprotected(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn multi() {
+    // lint:allow(clock_hygiene): pins per-lint scoping on a multi-lint line
+    let _ = std::time::SystemTime::now();
+}

@@ -1,0 +1,15 @@
+//! L7 fixture: one public API with a two-site transitive panic surface
+//! (own `unwrap` plus the helper's `expect`) and one panic-free API.
+
+pub fn risky(x: Option<u32>) -> u32 {
+    helper(x);
+    x.unwrap()
+}
+
+pub fn safe(x: u32) -> u32 {
+    x + 1
+}
+
+fn helper(x: Option<u32>) {
+    x.expect("set");
+}

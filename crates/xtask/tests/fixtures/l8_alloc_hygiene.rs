@@ -1,0 +1,17 @@
+//! L8 fixture: allocating calls one hop below the steady-state entry,
+//! with both allow placements honoured and a pooled path staying clean.
+
+fn hot(xs: &[f64], pool: &mut Pool) {
+    stage(xs, pool);
+}
+
+fn stage(xs: &[f64], pool: &mut Pool) {
+    let _method = xs.to_vec();
+    let _qualified = Vec::with_capacity(4);
+    let _macro_site = format!("{xs:?}");
+    let _trailing = xs.to_vec(); // lint:allow(alloc_hygiene): pins the trailing form
+    // lint:allow(alloc_hygiene): pins the standalone attribute-style form
+    let _standalone = xs.to_vec();
+    let recycled = pool.take();
+    pool.put(recycled);
+}

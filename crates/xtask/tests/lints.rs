@@ -155,6 +155,18 @@ fn l5_flags_raw_clock_calls_but_honours_allow_and_tests() {
 }
 
 #[test]
+fn allow_placements_trailing_and_standalone_both_bind_per_lint() {
+    // Lines 7 (trailing) and 12 (under a standalone allow) are excused;
+    // the unprotected control on line 16 still fires, and line 21's
+    // multi-lint `SystemTime::now()` keeps its L2 finding because the
+    // standalone allow names only `clock_hygiene`.
+    assert_exact(
+        "allow_placement.rs",
+        &[(LintId::PanicPath, 16), (LintId::Determinism, 21)],
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean_under_the_full_scope() {
     assert_exact("clean.rs", &[]);
 }

@@ -55,4 +55,19 @@ echo "==> invariant lints (dismastd-xtask: panic-path, determinism, span-taxonom
 # Deliberate panics carry a `// lint:allow(<name>): <reason>` directive.
 cargo run -q -p dismastd-xtask -- lint
 
+echo "==> interprocedural audits (dismastd-xtask: collective-order, panic-budget, alloc-hygiene)"
+# Whole-workspace call graph on the same lexer: no collective reachable
+# from worker_body under a rank-conditioned branch (L6), the transitive
+# panic surface of public APIs pinned against crates/xtask/panic_budget.txt
+# (L7 — growth fails; refresh with `analyze --write-budget` after review),
+# and no allocating call reachable from the steady-state MTTKRP / gram /
+# exchange kernels (L8).
+cargo run -q -p dismastd-xtask -- analyze
+
+echo "==> steady-state allocation count (count-alloc feature: zero allocations after warm-up)"
+# The dynamic twin of L8: a counting global allocator measures a full
+# gram -> all-reduce -> row-exchange round on every rank after the pools
+# warm up; the budget is exactly zero.
+cargo test -q -p dismastd-integration-tests --features count-alloc --test steady_state_alloc
+
 echo "All checks passed."

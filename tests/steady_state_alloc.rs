@@ -1,0 +1,139 @@
+//! Pins the allocation-free steady state end-to-end (L8's runtime twin).
+//!
+//! The static audit (`cargo run -p dismastd-xtask -- analyze`, lint L8)
+//! proves no allocating call is *reachable* from the steady-state
+//! kernels; this test proves the dynamic side with a counting global
+//! allocator: after a warm-up that fills the payload pools, a full
+//! gram → all-reduce → row-exchange round performs **zero** allocations
+//! on every rank.
+//!
+//! Runs only under `--features count-alloc`, which swaps in
+//! [`dismastd_obs::alloc::CountingAlloc`]; the ordinary suite stays on
+//! the system allocator.  Transport-internal channel nodes are exempted
+//! at the send sites (see `WorkerCtx::deliver`) — the audit covers the
+//! payload path, not the wire's bookkeeping.
+#![cfg(feature = "count-alloc")]
+
+use dismastd_cluster::{BufferPool, Cluster, ClusterError, Framed, Payload};
+use dismastd_obs::alloc::{allocation_count, CountingAlloc};
+use dismastd_tensor::Matrix;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const WORLD: usize = 2;
+const ROWS: usize = 12;
+const RANK: usize = 5;
+const WARMUP_ROUNDS: usize = 4;
+const MEASURED_ROUNDS: usize = 8;
+
+/// One steady-state round: local gram into `gram_buf`, flat all-reduce,
+/// then a framed all-to-all row exchange with pooled payload staging.
+fn round(
+    ctx: &mut dismastd_cluster::WorkerCtx,
+    factor: &Matrix,
+    gram_buf: &mut [f64],
+    pool: &mut BufferPool,
+    outgoing: &mut Vec<Framed>,
+    incoming: &mut Vec<Payload>,
+) -> Result<f64, ClusterError> {
+    let me = ctx.rank();
+    let world = ctx.world();
+
+    // Gram: G = Aᵀ·A accumulated in place, no scratch.
+    for c1 in 0..RANK {
+        for c2 in 0..RANK {
+            let mut acc = 0.0;
+            for row in 0..ROWS {
+                acc += factor.get(row, c1) * factor.get(row, c2);
+            }
+            gram_buf[c1 * RANK + c2] = acc;
+        }
+    }
+
+    // All-reduce the gram (the flat algorithm — the gram path's default).
+    ctx.try_allreduce_sum(gram_buf)?;
+
+    // Row exchange: ship this rank's rows to every peer from pooled
+    // staging, drain the peers' rows back into the pool.
+    outgoing.clear();
+    for d in 0..world {
+        if d == me {
+            outgoing.push(Framed::plain(Payload::Empty));
+        } else {
+            let mut stage = pool.take();
+            for row in 0..ROWS {
+                stage.extend_from_slice(factor.row(row));
+            }
+            outgoing.push(Framed::plain(Payload::F64(stage)));
+        }
+    }
+    let pending = ctx.post_exchange_framed_drain(outgoing)?;
+    ctx.complete_exchange_into(pending, incoming)?;
+
+    let mut checksum = gram_buf.iter().sum::<f64>();
+    for (d, payload) in incoming.drain(..).enumerate() {
+        if d == me {
+            continue;
+        }
+        let v = payload.try_into_f64()?;
+        checksum += v.iter().sum::<f64>();
+        pool.put(v);
+    }
+    Ok(checksum)
+}
+
+#[test]
+fn gram_allreduce_exchange_round_is_allocation_free_after_warmup() {
+    let results = Cluster::try_run(WORLD, |ctx| {
+        let me = ctx.rank();
+        let factor = Matrix::from_fn(ROWS, RANK, |i, j| {
+            (me as f64 + 1.0) * (i as f64 + 0.25 * j as f64 + 1.0)
+        });
+        let mut gram_buf = vec![0.0f64; RANK * RANK];
+        let mut pool = BufferPool::new(true);
+        let mut outgoing: Vec<Framed> = Vec::with_capacity(WORLD);
+        let mut incoming: Vec<Payload> = Vec::with_capacity(WORLD);
+
+        // Warm-up: fills this rank's payload pool, the collectives'
+        // internal staging pool, and the out-of-order receive buffer.
+        let mut warm = 0.0;
+        for _ in 0..WARMUP_ROUNDS {
+            warm = round(
+                ctx,
+                &factor,
+                &mut gram_buf,
+                &mut pool,
+                &mut outgoing,
+                &mut incoming,
+            )?;
+        }
+
+        let before = allocation_count();
+        let mut measured = 0.0;
+        for _ in 0..MEASURED_ROUNDS {
+            measured = round(
+                ctx,
+                &factor,
+                &mut gram_buf,
+                &mut pool,
+                &mut outgoing,
+                &mut incoming,
+            )?;
+        }
+        let delta = allocation_count() - before;
+
+        // The rounds are deterministic, so warm and measured agree — a
+        // sanity check that the pooled path computes the same values.
+        assert_eq!(warm.to_bits(), measured.to_bits(), "rank {me} checksum");
+        Ok(delta)
+    })
+    .expect("cluster run");
+
+    for (rank, delta) in results.iter().enumerate() {
+        assert_eq!(
+            *delta, 0,
+            "rank {rank}: {delta} allocation(s) in {MEASURED_ROUNDS} steady-state rounds"
+        );
+    }
+}
